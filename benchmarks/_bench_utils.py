@@ -1,0 +1,200 @@
+"""Shared infrastructure for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the CoMeT paper
+(see DESIGN.md's experiment index).  They share:
+
+* a single scaled DRAM configuration (:func:`experiment_config`);
+* a session-wide simulation cache so that e.g. the unprotected baseline of a
+  workload is simulated once and reused by every figure that normalizes to it;
+* a result recorder that prints each regenerated table/figure at the end of
+  the pytest session (so ``pytest benchmarks/ --benchmark-only`` shows the
+  rows/series the paper reports) and also writes them to
+  ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``REPRO_FULL_SUITE=1`` — use the full 61-workload suite instead of the
+  5-workload representative subset (much slower).
+* ``REPRO_BENCH_REQUESTS=<n>`` — override the per-workload trace length.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.dram_system import DRAMStatistics
+from repro.energy.model import DRAMEnergyModel
+from repro.sim.runner import default_experiment_config, run_multi_core, run_single_core
+from repro.sim.system import SimulationResult
+from repro.workloads.suite import build_multicore_traces, build_trace, workload_names
+
+# --------------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------------- #
+THRESHOLDS = [1000, 500, 250, 125]
+
+#: Representative subset: two high-, two medium-, one low-intensity workload.
+DEFAULT_WORKLOADS = ["429.mcf", "bfs_dblp", "462.libquantum", "473.astar", "502.gcc"]
+
+NUM_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "12000"))
+MULTICORE_REQUESTS = max(1000, NUM_REQUESTS // 8)
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_RECORDED: List[Tuple[str, str]] = []
+
+
+def bench_workloads() -> List[str]:
+    if os.environ.get("REPRO_FULL_SUITE") == "1":
+        return workload_names()
+    return list(DEFAULT_WORKLOADS)
+
+
+def record(title: str, text: str) -> None:
+    """Record a regenerated table/figure for the terminal summary and disk."""
+    _RECORDED.append((title, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = "".join(c if c.isalnum() else "_" for c in title.lower()).strip("_")
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def recorded_results() -> List[Tuple[str, str]]:
+    """All (title, text) pairs recorded so far in this session."""
+    return list(_RECORDED)
+
+
+# --------------------------------------------------------------------------- #
+# Simulation cache
+# --------------------------------------------------------------------------- #
+class SimulationCache:
+    """Caches traces and simulation results across benchmark files."""
+
+    def __init__(self) -> None:
+        self.dram_config = default_experiment_config()
+        self.energy_model = DRAMEnergyModel(num_ranks=2)
+        self._traces: Dict[Tuple, object] = {}
+        self._results: Dict[Tuple, SimulationResult] = {}
+
+    # -- traces -----------------------------------------------------------
+    def trace(self, workload: str, num_requests: int = NUM_REQUESTS):
+        key = ("trace", workload, num_requests)
+        if key not in self._traces:
+            self._traces[key] = build_trace(
+                workload, num_requests=num_requests, dram_config=self.dram_config
+            )
+        return self._traces[key]
+
+    def multicore_traces(self, workload: str, num_cores: int = 8,
+                         num_requests: int = MULTICORE_REQUESTS):
+        key = ("mc_traces", workload, num_cores, num_requests)
+        if key not in self._traces:
+            self._traces[key] = build_multicore_traces(
+                workload,
+                num_cores=num_cores,
+                num_requests=num_requests,
+                dram_config=self.dram_config,
+            )
+        return self._traces[key]
+
+    # -- single-core runs --------------------------------------------------
+    def run(
+        self,
+        workload: str,
+        mitigation: str,
+        nrh: int,
+        num_requests: int = NUM_REQUESTS,
+        overrides: Optional[dict] = None,
+        overrides_key: Optional[str] = None,
+    ) -> SimulationResult:
+        if mitigation == "none":
+            nrh = 0  # the baseline is threshold-independent; share one run
+        key = ("run", workload, mitigation, nrh, num_requests, overrides_key)
+        if key not in self._results:
+            trace = self.trace(workload, num_requests)
+            self._results[key] = run_single_core(
+                trace,
+                mitigation,
+                nrh=max(1, nrh) if mitigation == "none" else nrh,
+                dram_config=self.dram_config,
+                mitigation_overrides=overrides,
+                verify_security=mitigation != "none",
+            )
+        return self._results[key]
+
+    def baseline(self, workload: str, num_requests: int = NUM_REQUESTS) -> SimulationResult:
+        return self.run(workload, "none", 1000, num_requests)
+
+    # -- multi-core runs ----------------------------------------------------
+    def run_multicore(
+        self,
+        workload: str,
+        mitigation: str,
+        nrh: int,
+        num_cores: int = 8,
+        num_requests: int = MULTICORE_REQUESTS,
+        overrides: Optional[dict] = None,
+        overrides_key: Optional[str] = None,
+    ) -> SimulationResult:
+        if mitigation == "none":
+            nrh = 0
+        key = ("mc_run", workload, mitigation, nrh, num_cores, num_requests, overrides_key)
+        if key not in self._results:
+            traces = self.multicore_traces(workload, num_cores, num_requests)
+            self._results[key] = run_multi_core(
+                traces,
+                mitigation,
+                nrh=max(1, nrh) if mitigation == "none" else nrh,
+                dram_config=self.dram_config,
+                mitigation_overrides=overrides,
+                verify_security=mitigation != "none",
+                name=f"{workload}_x{num_cores}",
+            )
+        return self._results[key]
+
+    def multicore_baseline(self, workload: str, num_cores: int = 8) -> SimulationResult:
+        return self.run_multicore(workload, "none", 1000, num_cores)
+
+    # -- derived metrics -----------------------------------------------------
+    @staticmethod
+    def _to_stats(result: SimulationResult) -> DRAMStatistics:
+        d = result.dram_stats
+        return DRAMStatistics(
+            acts=d["acts"],
+            pres=d["pres"],
+            reads=d["reads"],
+            writes=d["writes"],
+            refreshes=d["refreshes"],
+            preventive_acts=d["preventive_acts"],
+        )
+
+    def normalized_ipc(self, result: SimulationResult, baseline: SimulationResult) -> float:
+        if baseline.ipc == 0:
+            return 0.0
+        return result.ipc / baseline.ipc
+
+    def normalized_weighted_speedup(
+        self, result: SimulationResult, baseline: SimulationResult
+    ) -> float:
+        base_sum = sum(baseline.per_core_ipc)
+        if base_sum == 0:
+            return 0.0
+        return sum(result.per_core_ipc) / base_sum
+
+    def normalized_energy(self, result: SimulationResult, baseline: SimulationResult) -> float:
+        return self.energy_model.normalized_energy(
+            self._to_stats(result), result.cycles, self._to_stats(baseline), baseline.cycles
+        )
+
+
+_CACHE = SimulationCache()
+
+
+def get_cache() -> SimulationCache:
+    """The process-wide simulation cache shared by every benchmark file."""
+    return _CACHE
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,28 @@
+"""Pytest wiring for the benchmark harnesses.
+
+The heavy lifting (simulation cache, workload selection, result recording)
+lives in :mod:`_bench_utils`; this conftest exposes the session-scoped cache
+fixture and prints every regenerated table/figure in the terminal summary so
+``pytest benchmarks/ --benchmark-only`` shows the paper's rows and series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import _bench_utils
+
+
+@pytest.fixture(scope="session")
+def sim_cache() -> "_bench_utils.SimulationCache":
+    return _bench_utils.get_cache()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # pragma: no cover
+    recorded = _bench_utils.recorded_results()
+    if not recorded:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for title, text in recorded:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

@@ -1,0 +1,42 @@
+"""Figure 11: CoMeT's single-core DRAM energy, normalized to no mitigation.
+
+Paper results: +0.08% (max 1.13%) average DRAM energy at NRH = 1K and +2.07%
+(max 14.11%) at NRH = 125.  The overhead comes from (i) the extra ACT/PRE
+pairs of preventive refreshes and (ii) longer execution time (background
+energy), both of which this harness accounts for.
+"""
+
+from _bench_utils import THRESHOLDS, bench_workloads, record, run_once
+from repro.analysis.reporting import format_table
+from repro.sim.metrics import geometric_mean
+
+
+def _experiment(sim_cache):
+    rows = []
+    series = {nrh: [] for nrh in THRESHOLDS}
+    for workload in bench_workloads():
+        baseline = sim_cache.baseline(workload)
+        row = {"workload": workload}
+        for nrh in THRESHOLDS:
+            result = sim_cache.run(workload, "comet", nrh)
+            normalized = sim_cache.normalized_energy(result, baseline)
+            row[f"nrh_{nrh}"] = round(normalized, 4)
+            series[nrh].append(normalized)
+        rows.append(row)
+    rows.append(
+        {"workload": "GeoMean", **{f"nrh_{n}": round(geometric_mean(v), 4) for n, v in series.items()}}
+    )
+    return rows, series
+
+
+def test_fig11_comet_singlecore_energy(benchmark, sim_cache):
+    rows, series = run_once(benchmark, lambda: _experiment(sim_cache))
+    text = format_table(rows, title="Figure 11: CoMeT normalized DRAM energy per workload")
+    record("fig11_comet_singlecore_energy", text)
+
+    geomeans = {nrh: geometric_mean(values) for nrh, values in series.items()}
+    # Negligible energy overhead at NRH=1K.
+    assert 0.995 < geomeans[1000] < 1.01
+    # Energy overhead grows (or stays equal) as the threshold drops, but stays small.
+    assert geomeans[125] >= geomeans[1000] - 1e-6
+    assert geomeans[125] < 1.10

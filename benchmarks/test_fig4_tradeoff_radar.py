@@ -1,0 +1,78 @@
+"""Figure 4: the four-way trade-off (performance, energy, CPU area, DRAM area).
+
+The radar plot of the paper compares every mechanism at NRH = 125 along four
+axes.  The harness prints one row per mechanism with the four quantities and
+asserts the qualitative placement of each mechanism:
+
+* Graphene — fast and energy-efficient but by far the largest CPU-chip area;
+* Hydra — small area but visible performance/energy overhead;
+* PARA — no area but the largest performance and energy overhead;
+* REGA — no CPU area but a fixed DRAM-chip overhead and a visible slowdown;
+* CoMeT — close to Graphene's performance/energy at close to Hydra's area.
+"""
+
+from _bench_utils import bench_workloads, record, run_once
+from repro.analysis.reporting import format_table
+from repro.area.model import comet_area_report, graphene_area_report, hydra_area_report
+from repro.mitigations.rega import REGA
+from repro.sim.metrics import geometric_mean
+
+NRH = 125
+MECHANISMS = ["comet", "graphene", "hydra", "rega", "para"]
+
+
+def _cpu_area(mechanism):
+    if mechanism == "comet":
+        return comet_area_report(NRH).area_mm2
+    if mechanism == "graphene":
+        return graphene_area_report(NRH).area_mm2
+    if mechanism == "hydra":
+        return hydra_area_report(NRH).area_mm2
+    return 0.0  # PARA and REGA keep no controller-side state
+
+
+def _dram_area_fraction(mechanism):
+    return REGA.DRAM_AREA_OVERHEAD_FRACTION if mechanism == "rega" else 0.0
+
+
+def _experiment(sim_cache):
+    workloads = bench_workloads()
+    rows = []
+    metrics = {}
+    for mechanism in MECHANISMS:
+        ipcs, energies = [], []
+        for workload in workloads:
+            baseline = sim_cache.baseline(workload)
+            result = sim_cache.run(workload, mechanism, NRH)
+            ipcs.append(sim_cache.normalized_ipc(result, baseline))
+            energies.append(sim_cache.normalized_energy(result, baseline))
+        metrics[mechanism] = {
+            "perf_overhead_pct": (1 - geometric_mean(ipcs)) * 100,
+            "energy_overhead_pct": (geometric_mean(energies) - 1) * 100,
+            "cpu_area_mm2": _cpu_area(mechanism),
+            "dram_area_pct": _dram_area_fraction(mechanism) * 100,
+        }
+        rows.append({"mitigation": mechanism, **{k: round(v, 3) for k, v in metrics[mechanism].items()}})
+    return rows, metrics
+
+
+def test_fig4_tradeoff(benchmark, sim_cache):
+    rows, metrics = run_once(benchmark, lambda: _experiment(sim_cache))
+    text = format_table(rows, title=f"Figure 4: trade-off axes at NRH = {NRH}")
+    record("fig4_tradeoff_radar", text)
+
+    # Graphene: best-in-class performance but the largest CPU area.
+    assert metrics["graphene"]["cpu_area_mm2"] == max(m["cpu_area_mm2"] for m in metrics.values())
+    # PARA: no area, worst performance overhead.
+    assert metrics["para"]["cpu_area_mm2"] == 0.0
+    assert metrics["para"]["perf_overhead_pct"] == max(
+        m["perf_overhead_pct"] for m in metrics.values()
+    )
+    # REGA is the only mechanism with a DRAM-chip area overhead.
+    assert metrics["rega"]["dram_area_pct"] > 0
+    assert all(m["dram_area_pct"] == 0 for name, m in metrics.items() if name != "rega")
+    # CoMeT: area within 2x of Hydra, performance within 3 points of Graphene.
+    assert metrics["comet"]["cpu_area_mm2"] < 2 * metrics["hydra"]["cpu_area_mm2"]
+    assert metrics["comet"]["perf_overhead_pct"] < metrics["graphene"]["perf_overhead_pct"] + 3.0
+    # CoMeT beats Hydra on performance at this threshold.
+    assert metrics["comet"]["perf_overhead_pct"] < metrics["hydra"]["perf_overhead_pct"]

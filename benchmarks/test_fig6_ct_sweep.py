@@ -1,0 +1,79 @@
+"""Figure 6: Counter Table design-space sweep (NHash x NCounters).
+
+Paper observations: increasing either the number of hash functions or the
+number of counters per hash function reduces counter collisions, and hence
+unnecessary preventive refreshes and slowdown; beyond 4 x 512 there is no
+further benefit, which is why that geometry is CoMeT's default.
+
+The harness sweeps (NHash, NCounters) pairs at NRH = 1K and NRH = 125 on the
+most memory-intensive workloads of the subset and reports normalized IPC and
+the number of preventive refreshes (the direct measure of collisions).
+"""
+
+from _bench_utils import bench_workloads, record, run_once
+from repro.analysis.reporting import format_table
+from repro.core.config import CoMeTConfig
+from repro.sim.metrics import geometric_mean
+
+PAIRS = [(1, 128), (2, 256), (4, 512), (8, 512)]
+THRESHOLDS = [1000, 125]
+
+
+def _sweep_workloads():
+    workloads = bench_workloads()
+    return workloads[:2] if len(workloads) > 2 else workloads
+
+
+def _experiment(sim_cache):
+    rows = []
+    refreshes = {}
+    ipcs = {}
+    for nrh in THRESHOLDS:
+        for num_hashes, counters in PAIRS:
+            normalized = []
+            preventive = 0
+            for workload in _sweep_workloads():
+                baseline = sim_cache.baseline(workload)
+                config = CoMeTConfig(
+                    nrh=nrh, num_hashes=num_hashes, counters_per_hash=counters
+                )
+                result = sim_cache.run(
+                    workload,
+                    "comet",
+                    nrh,
+                    overrides={"config": config},
+                    overrides_key=f"ct_{num_hashes}x{counters}",
+                )
+                normalized.append(sim_cache.normalized_ipc(result, baseline))
+                preventive += result.preventive_refreshes
+            key = (nrh, num_hashes, counters)
+            ipcs[key] = geometric_mean(normalized)
+            refreshes[key] = preventive
+            rows.append(
+                {
+                    "nrh": nrh,
+                    "NHash": num_hashes,
+                    "NCounters": counters,
+                    "geomean_norm_IPC": round(ipcs[key], 4),
+                    "preventive_refreshes": preventive,
+                }
+            )
+    return rows, ipcs, refreshes
+
+
+def test_fig6_counter_table_sweep(benchmark, sim_cache):
+    rows, ipcs, refreshes = run_once(benchmark, lambda: _experiment(sim_cache))
+    text = format_table(rows, title="Figure 6: CoMeT Counter Table (NHash x NCounters) sweep")
+    record("fig6_counter_table_sweep", text)
+
+    # At NRH = 1K even the smallest table suffices (overhead ~0 everywhere).
+    for pair in PAIRS:
+        assert ipcs[(1000, *pair)] > 0.98
+
+    # At NRH = 125 the smallest table causes at least as many preventive
+    # refreshes (collisions) as the paper's default geometry, and the default
+    # geometry performs at least as well.
+    assert refreshes[(125, 1, 128)] >= refreshes[(125, 4, 512)]
+    assert ipcs[(125, 4, 512)] >= ipcs[(125, 1, 128)] - 0.002
+    # Growing beyond 4 x 512 brings no further benefit (paper's conclusion).
+    assert abs(ipcs[(125, 8, 512)] - ipcs[(125, 4, 512)]) < 0.01

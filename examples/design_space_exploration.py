@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Explore CoMeT's design space (mini versions of Figures 6, 7 and 9).
+
+Three sweeps on a memory-intensive workload at a very low RowHammer threshold:
+
+* Counter Table geometry — number of hash functions x counters per hash
+  (Figure 6): more counters and more hash functions reduce collisions and
+  hence unnecessary preventive refreshes.
+* Recent Aggressor Table size (Figure 7): too few entries cause RAT thrashing.
+* Counter reset period divider k (Figure 9): larger k resets counters more
+  often (fewer saturated counters) but lowers NPR = NRH/(k+1), so k=3 is the
+  sweet spot the paper selects.
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.config import CoMeTConfig
+from repro.sim.runner import default_experiment_config, run_single_core
+from repro.workloads.suite import build_trace
+
+NRH = 125
+WORKLOAD = "429.mcf"
+NUM_REQUESTS = 6000
+
+
+def main() -> None:
+    dram_config = default_experiment_config()
+    trace = build_trace(WORKLOAD, num_requests=NUM_REQUESTS, dram_config=dram_config)
+    baseline = run_single_core(trace, "none", nrh=NRH, dram_config=dram_config)
+
+    def run(config: CoMeTConfig):
+        result = run_single_core(
+            trace, "comet", nrh=NRH, dram_config=dram_config,
+            mitigation_overrides={"config": config},
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Figure 6: Counter Table geometry sweep
+    # ------------------------------------------------------------------ #
+    rows = []
+    for num_hashes in (1, 2, 4):
+        for counters in (128, 512):
+            config = CoMeTConfig(nrh=NRH, num_hashes=num_hashes, counters_per_hash=counters)
+            result = run(config)
+            rows.append(
+                {
+                    "NHash": num_hashes,
+                    "NCounters": counters,
+                    "norm_IPC": round(result.ipc / baseline.ipc, 4),
+                    "preventive_refreshes": result.preventive_refreshes,
+                }
+            )
+    print(format_table(rows, title=f"Counter Table sweep (Figure 6), {WORKLOAD}, NRH={NRH}"))
+    print()
+
+    # ------------------------------------------------------------------ #
+    # Figure 7: RAT size sweep
+    # ------------------------------------------------------------------ #
+    rows = []
+    for rat_entries in (32, 128, 512):
+        config = CoMeTConfig(nrh=NRH, rat_entries=rat_entries)
+        result = run(config)
+        rows.append(
+            {
+                "RAT_entries": rat_entries,
+                "norm_IPC": round(result.ipc / baseline.ipc, 4),
+                "early_refreshes": result.early_refresh_operations,
+            }
+        )
+    print(format_table(rows, title=f"RAT size sweep (Figure 7), {WORKLOAD}, NRH={NRH}"))
+    print()
+
+    # ------------------------------------------------------------------ #
+    # Figure 9: counter reset period (k) sweep
+    # ------------------------------------------------------------------ #
+    rows = []
+    for k in (1, 2, 3, 4):
+        config = CoMeTConfig(nrh=NRH, reset_period_divider=k)
+        result = run(config)
+        rows.append(
+            {
+                "k": k,
+                "NPR": config.npr,
+                "norm_IPC": round(result.ipc / baseline.ipc, 4),
+                "preventive_refreshes": result.preventive_refreshes,
+            }
+        )
+    print(format_table(rows, title=f"Reset period sweep (Figure 9), {WORKLOAD}, NRH={NRH}"))
+
+
+if __name__ == "__main__":
+    main()

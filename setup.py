@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by pyproject.toml; this file only exists so
+`pip install -e . --no-build-isolation --no-use-pep517` (or
+`python setup.py develop`) works on machines where PEP 660 editable builds
+are unavailable (no `wheel` module, no network access).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro: a full Python reproduction of CoMeT (HPCA 2024).
+
+CoMeT is a low-cost RowHammer mitigation that tracks DRAM row activations
+with a Count-Min Sketch (the Counter Table) backed by a small table of
+per-row counters for recently identified aggressor rows (the Recent
+Aggressor Table).  This package reproduces the mechanism and the entire
+evaluation stack the paper builds it on:
+
+* :mod:`repro.core` — the CoMeT mechanism itself.
+* :mod:`repro.sketch` — Count-Min Sketch / counting Bloom filter /
+  Misra-Gries substrates.
+* :mod:`repro.dram`, :mod:`repro.controller`, :mod:`repro.cpu` — the DDR4
+  device model, FR-FCFS memory controller and trace-driven cores (the
+  Ramulator substitute).
+* :mod:`repro.mitigations` — the comparison points: PARA, Graphene, Hydra,
+  REGA, BlockHammer and the unprotected baseline.
+* :mod:`repro.energy`, :mod:`repro.area` — DRAMPower- and CACTI-style models.
+* :mod:`repro.workloads` — the synthetic 61-workload suite and attack traces.
+* :mod:`repro.sim`, :mod:`repro.analysis` — system assembly, experiment
+  runners, metrics, the security verifier and tracker analysis.
+
+Quickstart::
+
+    from repro import CoMeT, build_trace, run_single_core
+
+    trace = build_trace("429.mcf", num_requests=5000)
+    result = run_single_core(trace, "comet", nrh=1000)
+    print(result.summary())
+"""
+
+from repro.core import CoMeT, CoMeTConfig, CounterTable, RecentAggressorTable
+from repro.dram import DRAMConfig
+from repro.mitigations import (
+    BlockHammer,
+    Graphene,
+    Hydra,
+    NoMitigation,
+    PARA,
+    REGA,
+)
+from repro.sim import (
+    System,
+    SystemConfig,
+    SimulationResult,
+    run_single_core,
+    run_multi_core,
+    compare_single_core,
+    normalized_ipc,
+)
+from repro.sim.runner import default_experiment_config, build_mitigation
+from repro.workloads import (
+    WORKLOAD_SUITE,
+    build_trace,
+    build_multicore_traces,
+    workload_names,
+    traditional_rowhammer_attack,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoMeT",
+    "CoMeTConfig",
+    "CounterTable",
+    "RecentAggressorTable",
+    "DRAMConfig",
+    "NoMitigation",
+    "PARA",
+    "Graphene",
+    "Hydra",
+    "REGA",
+    "BlockHammer",
+    "System",
+    "SystemConfig",
+    "SimulationResult",
+    "run_single_core",
+    "run_multi_core",
+    "compare_single_core",
+    "normalized_ipc",
+    "default_experiment_config",
+    "build_mitigation",
+    "WORKLOAD_SUITE",
+    "build_trace",
+    "build_multicore_traces",
+    "workload_names",
+    "traditional_rowhammer_attack",
+    "__version__",
+]

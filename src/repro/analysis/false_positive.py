@@ -1,0 +1,174 @@
+"""False-positive-rate analysis of hash-based trackers (Figure 17).
+
+The paper compares CoMeT's Counter Table (a Count-Min Sketch where each hash
+function indexes its own private set of counters) against BlockHammer's
+counting Bloom filter (all hash functions share one counter array).  The
+experiment of Figure 17 distributes a fixed number of activations (10,000 —
+the average a benign workload issues to a bank per refresh window, footnote
+13) over a varying number of unique rows, and measures the fraction of rows
+the tracker would *incorrectly* flag as having reached the RowHammer
+threshold.
+
+This module builds both trackers from their paper configurations, feeds them
+identical synthetic activation streams and computes that false-positive rate,
+which the Figure 17 benchmark prints as a curve over the unique-row count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import CoMeTConfig
+from repro.core.counter_table import CounterTable
+from repro.sketch.counting_bloom import CountingBloomFilter, DualCountingBloomFilter
+
+
+@dataclass
+class TrackerModel:
+    """A tracker under test: a name, an update function and an estimate function."""
+
+    name: str
+    update: Callable[[int], None]
+    estimate: Callable[[int], int]
+    reset: Callable[[], None]
+
+
+def comet_tracker(nrh: int = 125, config: Optional[CoMeTConfig] = None, seed: int = 0) -> TrackerModel:
+    """CoMeT's Counter Table configured as in the paper (4 x 512, CMS-CU).
+
+    For the tracker comparison the counters saturate at the RowHammer
+    threshold itself (there is no RAT in this experiment; Figure 17 compares
+    the raw trackers).
+    """
+    config = config or CoMeTConfig(
+        nrh=nrh * 4,  # NPR = nrh with the default k=3 divider
+        num_hashes=4,
+        counters_per_hash=512,
+        hash_seed=seed,
+    )
+    table = CounterTable(config)
+    return TrackerModel(
+        name="CoMeT",
+        update=lambda row: table.increment(row),
+        estimate=lambda row: table.estimate(row),
+        reset=table.reset,
+    )
+
+
+def blockhammer_tracker(
+    nrh: int = 125,
+    num_counters: int = 2048,
+    num_hashes: int = 4,
+    seed: int = 0,
+) -> TrackerModel:
+    """BlockHammer's counting Bloom filter with an equal counter budget.
+
+    The CBF gets the same total number of counters as CoMeT's CT (4 x 512 =
+    2048) but, per the BlockHammer design, every hash function indexes the
+    same shared array — the structural difference Section 8.3 highlights.
+    """
+    cbf = CountingBloomFilter(
+        num_counters=num_counters,
+        num_hashes=num_hashes,
+        counter_width_bits=16,
+        seed=seed,
+    )
+    return TrackerModel(
+        name="BlockHammer",
+        update=lambda row: cbf.update(row),
+        estimate=lambda row: cbf.estimate(row),
+        reset=cbf.reset,
+    )
+
+
+def blockhammer_dual_tracker(
+    nrh: int = 125,
+    counters_per_filter: int = 256,
+    num_hashes: int = 4,
+    seed: int = 0,
+) -> TrackerModel:
+    """BlockHammer's actual dual-filter tracker at a given storage budget.
+
+    BlockHammer keeps two counting Bloom filters and estimates from the active
+    one, so for a given storage budget only half of the counters back any
+    single estimate — the structural handicap (relative to CoMeT's partitioned
+    Counter Table of equal storage) that Figure 17 quantifies.
+    """
+    cbf = DualCountingBloomFilter(
+        num_counters=counters_per_filter,
+        num_hashes=num_hashes,
+        counter_width_bits=16,
+        seed=seed,
+    )
+    return TrackerModel(
+        name="BlockHammer",
+        update=lambda row: cbf.update(row),
+        estimate=lambda row: cbf.estimate(row),
+        reset=cbf.reset,
+    )
+
+
+def uniform_activation_counts(
+    num_unique_rows: int, total_activations: int, seed: int = 0
+) -> Dict[int, int]:
+    """Distribute ``total_activations`` as evenly as possible over unique rows.
+
+    Row IDs are drawn pseudo-randomly from a large row-address space so hash
+    behaviour is representative rather than sequential-address friendly.
+    """
+    rng = random.Random(seed)
+    rows = rng.sample(range(1 << 17), num_unique_rows)
+    counts: Dict[int, int] = {}
+    base = total_activations // num_unique_rows
+    remainder = total_activations % num_unique_rows
+    for index, row in enumerate(rows):
+        counts[row] = base + (1 if index < remainder else 0)
+    return counts
+
+
+def measure_false_positive_rate(
+    tracker: TrackerModel,
+    activation_counts: Dict[int, int],
+    threshold: int,
+    seed: int = 0,
+) -> float:
+    """Feed an interleaved activation stream to a tracker and measure its FPR.
+
+    FPR = (# rows flagged whose true count is below the threshold) /
+          (# rows whose true count is below the threshold).
+    """
+    tracker.reset()
+    stream: List[int] = []
+    for row, count in activation_counts.items():
+        stream.extend([row] * count)
+    rng = random.Random(seed)
+    rng.shuffle(stream)
+    for row in stream:
+        tracker.update(row)
+
+    negatives = [row for row, count in activation_counts.items() if count < threshold]
+    if not negatives:
+        return 0.0
+    false_positives = [row for row in negatives if tracker.estimate(row) >= threshold]
+    return len(false_positives) / len(negatives)
+
+
+def false_positive_rate_curve(
+    unique_row_counts: Sequence[int],
+    total_activations: int = 10_000,
+    threshold: int = 125,
+    seed: int = 0,
+    trackers: Optional[Sequence[TrackerModel]] = None,
+) -> Dict[str, List[float]]:
+    """The Figure 17 curve: FPR per tracker as unique-row count varies."""
+    if trackers is None:
+        trackers = [comet_tracker(nrh=threshold, seed=seed), blockhammer_tracker(nrh=threshold, seed=seed)]
+    curve: Dict[str, List[float]] = {tracker.name: [] for tracker in trackers}
+    for index, unique_rows in enumerate(unique_row_counts):
+        counts = uniform_activation_counts(unique_rows, total_activations, seed=seed + index)
+        for tracker in trackers:
+            rate = measure_false_positive_rate(tracker, counts, threshold, seed=seed + index)
+            curve[tracker.name].append(rate)
+    return curve

@@ -1,0 +1,82 @@
+"""Plain-text report formatting.
+
+The benchmark harnesses print their results in the same shape as the paper's
+tables and figures (rows of a table, or series of a figure).  These helpers
+render dictionaries and series as aligned ASCII tables so the output of
+``pytest benchmarks/`` can be compared side by side with the paper and copied
+into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, precision: int = 4) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [_format_cell(row.get(column, ""), precision) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(r[i]) for r in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[Cell],
+    x_label: str = "x",
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render named series (figure lines) against shared x values."""
+    rows = []
+    for index, x in enumerate(x_values):
+        row: Dict[str, Cell] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()], title=title, precision=precision)
+
+
+def format_report(sections: Mapping[str, Union[str, Mapping[str, Cell]]]) -> str:
+    """Render a multi-section report: section name followed by its content."""
+    lines: List[str] = []
+    for name, content in sections.items():
+        lines.append(f"== {name} ==")
+        if isinstance(content, str):
+            lines.append(content)
+        else:
+            for key, value in content.items():
+                lines.append(f"  {key}: {_format_cell(value)}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

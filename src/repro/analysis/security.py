@@ -1,0 +1,138 @@
+"""RowHammer security verification.
+
+The paper's security argument (Section 5) is that no DRAM row is ever
+activated ``NRH`` times between two refreshes of its victim rows.  The
+:class:`SecurityVerifier` checks the equivalent victim-centric invariant on
+the ground truth maintained by the DRAM model:
+
+    for every victim row v, the number of activations of v's neighbouring
+    (aggressor) rows since v was last refreshed stays below NRH.
+
+The verifier observes three event streams from the DRAM model:
+
+* every ACT (demand or preventive) adds one unit of disturbance to the
+  activated row's neighbours;
+* every preventive/in-DRAM row refresh clears the refreshed row's
+  disturbance;
+* every periodic REF clears the disturbance of the rows it covers in every
+  bank of the rank.
+
+Violations are recorded (not raised) so tests can assert on them and the
+benchmark harness can report "secure / not secure" per mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.address import DRAMAddress
+from repro.dram.dram_system import DRAMSystem
+
+RowKey = Tuple[int, int, int, int, int]  # channel, rank, bankgroup, bank, row
+
+
+@dataclass(frozen=True)
+class SecurityViolation:
+    """One observed violation of the RowHammer invariant."""
+
+    cycle: int
+    victim: RowKey
+    disturbance: int
+    nrh: int
+
+    def describe(self) -> str:
+        channel, rank, bankgroup, bank, row = self.victim
+        return (
+            f"cycle {self.cycle}: victim row {row} "
+            f"(ch{channel}/ra{rank}/bg{bankgroup}/ba{bank}) accumulated "
+            f"{self.disturbance} aggressor activations >= NRH={self.nrh}"
+        )
+
+
+class SecurityVerifier:
+    """Tracks per-victim disturbance and flags RowHammer threshold violations."""
+
+    def __init__(
+        self,
+        dram: DRAMSystem,
+        nrh: int,
+        blast_radius: int = 1,
+    ) -> None:
+        if nrh <= 0:
+            raise ValueError("nrh must be positive")
+        self.dram = dram
+        self.nrh = nrh
+        self.blast_radius = blast_radius
+        self._disturbance: Dict[RowKey, int] = {}
+        self.violations: List[SecurityViolation] = []
+        self.max_disturbance = 0
+        self.rows_per_bank = dram.config.organization.rows_per_bank
+        dram.add_activation_observer(self._on_activation)
+        dram.add_refresh_observer(self._on_rank_refresh)
+        dram.add_row_refresh_observer(self._on_row_refresh)
+
+    # ------------------------------------------------------------------ #
+    # Observers
+    # ------------------------------------------------------------------ #
+    def _on_activation(self, cycle: int, address: DRAMAddress, is_preventive: bool) -> None:
+        base = (address.channel, address.rank, address.bankgroup, address.bank)
+        for distance in range(1, self.blast_radius + 1):
+            for direction in (-1, 1):
+                victim_row = address.row + direction * distance
+                if not 0 <= victim_row < self.rows_per_bank:
+                    continue
+                key = base + (victim_row,)
+                value = self._disturbance.get(key, 0) + 1
+                self._disturbance[key] = value
+                if value > self.max_disturbance:
+                    self.max_disturbance = value
+                if value >= self.nrh:
+                    self.violations.append(
+                        SecurityViolation(
+                            cycle=cycle, victim=key, disturbance=value, nrh=self.nrh
+                        )
+                    )
+
+    def _on_row_refresh(self, cycle: int, address: DRAMAddress) -> None:
+        key = (address.channel, address.rank, address.bankgroup, address.bank, address.row)
+        if key in self._disturbance:
+            del self._disturbance[key]
+
+    def _on_rank_refresh(
+        self, cycle: int, rank_key: Tuple[int, int], start_row: int, count: int
+    ) -> None:
+        channel, rank = rank_key
+        end_row = start_row + count
+        stale = [
+            key
+            for key in self._disturbance
+            if key[0] == channel and key[1] == rank and start_row <= key[4] < end_row
+        ]
+        for key in stale:
+            del self._disturbance[key]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_secure(self) -> bool:
+        return not self.violations
+
+    def disturbance_of(self, address: DRAMAddress) -> int:
+        key = (address.channel, address.rank, address.bankgroup, address.bank, address.row)
+        return self._disturbance.get(key, 0)
+
+    def worst_victims(self, top: int = 10) -> List[Tuple[RowKey, int]]:
+        """The ``top`` victims with the highest current disturbance."""
+        ordered = sorted(self._disturbance.items(), key=lambda item: item[1], reverse=True)
+        return ordered[:top]
+
+    def report(self) -> Dict[str, object]:
+        return {
+            "nrh": self.nrh,
+            "is_secure": self.is_secure,
+            "violations": len(self.violations),
+            "max_disturbance": self.max_disturbance,
+            "tracked_victims": len(self._disturbance),
+        }

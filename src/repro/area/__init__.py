@@ -1,0 +1,21 @@
+"""Storage and chip-area model (the reproduction's substitute for CACTI)."""
+
+from repro.area.model import (
+    AreaModel,
+    AreaReport,
+    comet_area_report,
+    graphene_area_report,
+    hydra_area_report,
+    area_comparison_table,
+    graphene_storage_table,
+)
+
+__all__ = [
+    "AreaModel",
+    "AreaReport",
+    "comet_area_report",
+    "graphene_area_report",
+    "hydra_area_report",
+    "area_comparison_table",
+    "graphene_storage_table",
+]

@@ -1,0 +1,212 @@
+"""Storage and processor-chip-area model for the tracker structures.
+
+The paper evaluates area with CACTI and Synopsys Design Compiler at 65 nm
+(Section 7.3).  Neither tool is available here, so this module uses an
+analytical model: storage is computed exactly from each mechanism's
+configuration (counter widths, entry counts, tag widths — the same arithmetic
+as Section 7.2.1 and Table 4), and storage is converted to area with per-KiB
+constants for SRAM and CAM calibrated against the CoMeT rows of Table 4
+(SRAM ~0.8e-3 mm^2/KiB, CAM ~2.4e-3 mm^2/KiB at 65 nm, CAM being ~3x denser
+in area per bit, matching the paper's motivation for avoiding CAMs).
+
+The two tables of the paper regenerated from this model are:
+
+* Table 1 — Graphene storage versus RowHammer threshold
+  (:func:`graphene_storage_table`);
+* Table 4 — CoMeT / Graphene / Hydra storage and area at each threshold
+  (:func:`area_comparison_table`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import CoMeTConfig
+from repro.dram.config import DRAMConfig
+from repro.mitigations.graphene import GrapheneConfig
+from repro.mitigations.hydra import HydraConfig
+
+#: Area per KiB of scratchpad SRAM at 65 nm (calibrated to Table 4's CT rows).
+SRAM_MM2_PER_KIB = 0.00082
+#: Area per KiB of content-addressable memory at 65 nm (Table 4's RAT rows).
+CAM_MM2_PER_KIB = 0.0024
+#: Fixed logic-circuitry area of CoMeT (Section 7.3).
+COMET_LOGIC_MM2 = 0.005
+
+
+@dataclass
+class AreaReport:
+    """Storage and area of one mechanism at one RowHammer threshold."""
+
+    mechanism: str
+    nrh: int
+    storage_kib: float
+    area_mm2: float
+    breakdown_kib: Dict[str, float] = field(default_factory=dict)
+    breakdown_mm2: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "mechanism": self.mechanism,
+            "nrh": self.nrh,
+            "storage_KiB": round(self.storage_kib, 2),
+            "area_mm2": round(self.area_mm2, 3),
+        }
+
+
+class AreaModel:
+    """Converts storage breakdowns to chip area."""
+
+    def __init__(
+        self,
+        sram_mm2_per_kib: float = SRAM_MM2_PER_KIB,
+        cam_mm2_per_kib: float = CAM_MM2_PER_KIB,
+    ) -> None:
+        self.sram_mm2_per_kib = sram_mm2_per_kib
+        self.cam_mm2_per_kib = cam_mm2_per_kib
+
+    def sram_area(self, kib: float) -> float:
+        return kib * self.sram_mm2_per_kib
+
+    def cam_area(self, kib: float) -> float:
+        return kib * self.cam_mm2_per_kib
+
+
+def _default_dram_config() -> DRAMConfig:
+    """The full-scale dual-rank DDR4 channel of Table 2 (32 banks, 128K rows)."""
+    return DRAMConfig()
+
+
+def comet_area_report(
+    nrh: int,
+    config: Optional[CoMeTConfig] = None,
+    dram_config: Optional[DRAMConfig] = None,
+    model: Optional[AreaModel] = None,
+) -> AreaReport:
+    """CoMeT storage/area (the CoMeT rows of Table 4)."""
+    config = config or CoMeTConfig(nrh=nrh)
+    dram_config = dram_config or _default_dram_config()
+    model = model or AreaModel()
+    org = dram_config.organization
+    banks = org.channels * org.ranks_per_channel * org.banks_per_rank
+
+    ct_kib = config.ct_storage_bits_per_bank * banks / 8 / 1024
+    rat_kib = config.rat_storage_bits_per_bank * banks / 8 / 1024
+    history_kib = config.history_storage_bits_per_bank * banks / 8 / 1024
+
+    ct_mm2 = model.sram_area(ct_kib)
+    rat_mm2 = model.cam_area(rat_kib)
+    history_mm2 = model.sram_area(history_kib)
+
+    storage = ct_kib + rat_kib
+    area = ct_mm2 + rat_mm2 + history_mm2 + COMET_LOGIC_MM2
+    return AreaReport(
+        mechanism="CoMeT",
+        nrh=nrh,
+        storage_kib=storage,
+        area_mm2=area,
+        breakdown_kib={"CT": ct_kib, "RAT": rat_kib, "history": history_kib},
+        breakdown_mm2={
+            "CT": ct_mm2,
+            "RAT": rat_mm2,
+            "history": history_mm2,
+            "logic": COMET_LOGIC_MM2,
+        },
+    )
+
+
+def graphene_area_report(
+    nrh: int,
+    config: Optional[GrapheneConfig] = None,
+    dram_config: Optional[DRAMConfig] = None,
+    model: Optional[AreaModel] = None,
+) -> AreaReport:
+    """Graphene storage/area (Table 1 and the Graphene rows of Table 4).
+
+    Graphene's counters are tagged and therefore implemented as CAM, which is
+    what makes its area grow so quickly at low thresholds.
+    """
+    config = config or GrapheneConfig(nrh=nrh)
+    dram_config = dram_config or _default_dram_config()
+    model = model or AreaModel()
+    org = dram_config.organization
+    banks = org.channels * org.ranks_per_channel * org.banks_per_rank
+
+    bits_per_bank = config.storage_bits_per_bank(dram_config.max_activations_per_window)
+    table_kib = bits_per_bank * banks / 8 / 1024
+    area = model.cam_area(table_kib)
+    return AreaReport(
+        mechanism="Graphene",
+        nrh=nrh,
+        storage_kib=table_kib,
+        area_mm2=area,
+        breakdown_kib={"misra_gries_table": table_kib},
+        breakdown_mm2={"misra_gries_table": area},
+    )
+
+
+def hydra_area_report(
+    nrh: int,
+    config: Optional[HydraConfig] = None,
+    dram_config: Optional[DRAMConfig] = None,
+    model: Optional[AreaModel] = None,
+) -> AreaReport:
+    """Hydra SRAM storage/area (the Hydra rows of Table 4).
+
+    Hydra additionally stores per-row counters in DRAM (about 4 MiB for 8-bit
+    counters, footnote 8 of the paper); that DRAM-side storage is reported in
+    the breakdown but not counted as processor-chip area.
+    """
+    config = config or HydraConfig(nrh=nrh)
+    dram_config = dram_config or _default_dram_config()
+    model = model or AreaModel()
+    org = dram_config.organization
+    banks = org.channels * org.ranks_per_channel * org.banks_per_rank
+
+    groups_per_bank = -(-org.rows_per_bank // config.rows_per_group)
+    gct_kib = groups_per_bank * config.group_counter_width_bits * banks / 8 / 1024
+    rcc_kib = config.rcc_entries * (config.counter_width_bits + 20) / 8 / 1024
+    in_dram_kib = org.total_rows * config.counter_width_bits / 8 / 1024
+
+    sram_kib = gct_kib + rcc_kib
+    area = model.sram_area(gct_kib) + model.cam_area(rcc_kib * 0.4) + model.sram_area(
+        rcc_kib * 0.6
+    )
+    return AreaReport(
+        mechanism="Hydra",
+        nrh=nrh,
+        storage_kib=sram_kib,
+        area_mm2=area,
+        breakdown_kib={
+            "GCT": gct_kib,
+            "RCC": rcc_kib,
+            "in_DRAM_counters": in_dram_kib,
+        },
+        breakdown_mm2={"sram": area},
+    )
+
+
+def graphene_storage_table(
+    thresholds: Optional[List[int]] = None,
+    dram_config: Optional[DRAMConfig] = None,
+) -> List[Dict[str, float]]:
+    """Table 1: Graphene storage overhead for different RowHammer thresholds."""
+    thresholds = thresholds or [1000, 500, 250, 125]
+    return [
+        graphene_area_report(nrh, dram_config=dram_config).as_row() for nrh in thresholds
+    ]
+
+
+def area_comparison_table(
+    thresholds: Optional[List[int]] = None,
+    dram_config: Optional[DRAMConfig] = None,
+) -> List[AreaReport]:
+    """Table 4: storage and area of CoMeT, Graphene and Hydra per threshold."""
+    thresholds = thresholds or [1000, 500, 250, 125]
+    reports: List[AreaReport] = []
+    for nrh in thresholds:
+        reports.append(comet_area_report(nrh, dram_config=dram_config))
+        reports.append(graphene_area_report(nrh, dram_config=dram_config))
+        reports.append(hydra_area_report(nrh, dram_config=dram_config))
+    return reports

@@ -1,0 +1,187 @@
+"""Command-line interface for quick experiments.
+
+Installed as the ``python -m repro.cli`` entry point (and importable as
+:func:`repro.cli.main`), the CLI exposes the most common experiment patterns
+without writing a script:
+
+``python -m repro.cli workloads``
+    List the 61-workload suite grouped by memory-intensity category.
+
+``python -m repro.cli run --workload 429.mcf --mitigation comet --nrh 125``
+    Run one workload under one mitigation and print the result summary
+    (normalized IPC against the unprotected baseline included).
+
+``python -m repro.cli compare --workload 429.mcf --nrh 125``
+    Run every mitigation on one workload and print a comparison table.
+
+``python -m repro.cli attack --mitigation comet --nrh 125``
+    Run the traditional RowHammer attack against a mitigation and report the
+    security verifier's verdict.
+
+``python -m repro.cli area --nrh 125``
+    Print the storage/area comparison (Table 4 row) for a threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.area.model import comet_area_report, graphene_area_report, hydra_area_report
+from repro.sim.runner import (
+    MITIGATION_FACTORIES,
+    default_experiment_config,
+    run_single_core,
+)
+from repro.workloads.attacks import traditional_rowhammer_attack
+from repro.workloads.suite import build_trace, workloads_by_category
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CoMeT reproduction: run scaled RowHammer-mitigation experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("workloads", help="list the synthetic workload suite")
+
+    run_parser = subparsers.add_parser("run", help="run one workload under one mitigation")
+    _add_common_arguments(run_parser)
+    run_parser.add_argument(
+        "--mitigation",
+        default="comet",
+        choices=sorted(MITIGATION_FACTORIES),
+        help="mitigation mechanism (default: comet)",
+    )
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run every mitigation on one workload"
+    )
+    _add_common_arguments(compare_parser)
+
+    attack_parser = subparsers.add_parser(
+        "attack", help="run the traditional RowHammer attack against a mitigation"
+    )
+    attack_parser.add_argument(
+        "--mitigation",
+        default="comet",
+        choices=sorted(MITIGATION_FACTORIES),
+        help="mitigation mechanism (default: comet)",
+    )
+    attack_parser.add_argument("--nrh", type=int, default=125, help="RowHammer threshold")
+    attack_parser.add_argument(
+        "--requests", type=int, default=6000, help="attack trace length"
+    )
+
+    area_parser = subparsers.add_parser("area", help="print the Table 4 area comparison")
+    area_parser.add_argument("--nrh", type=int, default=125, help="RowHammer threshold")
+
+    return parser
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="429.mcf", help="workload name (see `workloads`)")
+    parser.add_argument("--nrh", type=int, default=125, help="RowHammer threshold")
+    parser.add_argument("--requests", type=int, default=8000, help="trace length in requests")
+
+
+def _command_workloads(_args: argparse.Namespace) -> str:
+    rows = []
+    for category, names in workloads_by_category().items():
+        for name in sorted(names):
+            rows.append({"category": category, "workload": name})
+    return format_table(rows, title="Synthetic workload suite (Table 3 categories)")
+
+
+def _command_run(args: argparse.Namespace) -> str:
+    dram_config = default_experiment_config()
+    trace = build_trace(args.workload, num_requests=args.requests, dram_config=dram_config)
+    baseline = run_single_core(trace, "none", nrh=args.nrh, dram_config=dram_config)
+    result = run_single_core(trace, args.mitigation, nrh=args.nrh, dram_config=dram_config)
+    normalized = result.ipc / baseline.ipc if baseline.ipc else 0.0
+    rows = [
+        {
+            "workload": args.workload,
+            "mitigation": args.mitigation,
+            "nrh": args.nrh,
+            "ipc": round(result.ipc, 4),
+            "normalized_IPC": round(normalized, 4),
+            "preventive_refreshes": result.preventive_refreshes,
+            "secure": result.security_ok,
+        }
+    ]
+    return format_table(rows, title="single-core run")
+
+
+def _command_compare(args: argparse.Namespace) -> str:
+    dram_config = default_experiment_config()
+    trace = build_trace(args.workload, num_requests=args.requests, dram_config=dram_config)
+    baseline = run_single_core(trace, "none", nrh=args.nrh, dram_config=dram_config)
+    rows = []
+    for name in sorted(MITIGATION_FACTORIES):
+        if name == "none":
+            continue
+        result = run_single_core(trace, name, nrh=args.nrh, dram_config=dram_config)
+        rows.append(
+            {
+                "mitigation": name,
+                "normalized_IPC": round(result.ipc / baseline.ipc, 4) if baseline.ipc else 0.0,
+                "preventive_refreshes": result.preventive_refreshes,
+                "secure": result.security_ok,
+            }
+        )
+    return format_table(
+        rows, title=f"{args.workload} at NRH={args.nrh}, normalized to no mitigation"
+    )
+
+
+def _command_attack(args: argparse.Namespace) -> str:
+    dram_config = default_experiment_config()
+    attack = traditional_rowhammer_attack(
+        num_requests=args.requests, dram_config=dram_config, aggressor_rows_per_bank=2
+    )
+    result = run_single_core(attack, args.mitigation, nrh=args.nrh, dram_config=dram_config)
+    rows = [
+        {
+            "mitigation": args.mitigation,
+            "nrh": args.nrh,
+            "secure": result.security_ok,
+            "max_disturbance": result.max_disturbance,
+            "preventive_refreshes": result.preventive_refreshes,
+        }
+    ]
+    return format_table(rows, title="traditional RowHammer attack")
+
+
+def _command_area(args: argparse.Namespace) -> str:
+    rows = [
+        comet_area_report(args.nrh).as_row(),
+        graphene_area_report(args.nrh).as_row(),
+        hydra_area_report(args.nrh).as_row(),
+    ]
+    return format_table(rows, title=f"storage and area at NRH={args.nrh} (Table 4 row)")
+
+
+_COMMANDS = {
+    "workloads": _command_workloads,
+    "run": _command_run,
+    "compare": _command_compare,
+    "attack": _command_attack,
+    "area": _command_area,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

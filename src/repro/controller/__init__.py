@@ -1,0 +1,18 @@
+"""Memory-controller substrate.
+
+This subpackage models the memory controller of Table 2 in the paper:
+64-entry read and write queues, FR-FCFS scheduling with a 16-column cap,
+open-page row-buffer policy, periodic refresh management, and the hooks that
+RowHammer mitigations use (preventive-refresh injection, activation
+throttling, mitigation-generated memory traffic).
+"""
+
+from repro.controller.request import MemoryRequest, RequestType
+from repro.controller.controller import MemoryController, ControllerConfig
+
+__all__ = [
+    "MemoryRequest",
+    "RequestType",
+    "MemoryController",
+    "ControllerConfig",
+]

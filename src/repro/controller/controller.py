@@ -1,0 +1,547 @@
+"""FR-FCFS memory controller with RowHammer-mitigation hooks.
+
+The controller owns the read/write queues, the refresh schedule and the
+preventive-refresh queue, and drives the :class:`~repro.dram.dram_system.DRAMSystem`
+one command at a time.  It is deliberately event-driven: the system simulation
+asks for the earliest cycle at which the controller can do useful work
+(:meth:`MemoryController.next_issue_cycle`) and then tells it to issue exactly
+one command (:meth:`MemoryController.issue_next`), so no cycles are spent
+spinning over idle periods.
+
+Scheduling policy (Table 2 of the paper):
+
+* FR-FCFS — among requests to a bank, row hits are served first, oldest
+  first, with a *column cap* of 16 consecutive column accesses per open row
+  so a stream of row hits cannot starve row-miss requests.
+* Open-page policy — rows stay open until a conflicting request or a refresh
+  needs the bank.
+* Writes are buffered and drained in bursts when the write queue passes a
+  high watermark or the read queue is empty.
+* Periodic refresh — each rank receives one REF every tREFI; refreshes take
+  priority once due.  Mitigations may also schedule extra rank-level
+  refreshes (CoMeT's early preventive refresh) and per-row preventive
+  refreshes, which are served with priority over demand traffic
+  (Section 7.2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.controller.request import MemoryRequest, RequestType
+from repro.dram.address import AddressMapper, DRAMAddress
+from repro.dram.bank import Bank
+from repro.dram.commands import Command, CommandKind
+from repro.dram.config import DRAMConfig
+from repro.dram.dram_system import DRAMSystem
+
+_INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Scheduling parameters of the memory controller."""
+
+    read_queue_size: int = 64
+    write_queue_size: int = 64
+    column_cap: int = 16
+    write_drain_high: int = 48
+    write_drain_low: int = 16
+
+
+@dataclass
+class ControllerStatistics:
+    """Aggregate controller statistics used by metrics and reports."""
+
+    read_requests: int = 0
+    write_requests: int = 0
+    mitigation_requests: int = 0
+    preventive_refreshes: int = 0
+    early_refresh_operations: int = 0
+    total_read_latency: int = 0
+    completed_reads: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    per_core_read_latency: Dict[int, int] = field(default_factory=dict)
+    per_core_reads: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def average_read_latency(self) -> float:
+        if self.completed_reads == 0:
+            return 0.0
+        return self.total_read_latency / self.completed_reads
+
+    def record_read_completion(self, request: MemoryRequest) -> None:
+        latency = request.latency or 0
+        self.total_read_latency += latency
+        self.completed_reads += 1
+        if request.core_id is not None:
+            self.per_core_read_latency[request.core_id] = (
+                self.per_core_read_latency.get(request.core_id, 0) + latency
+            )
+            self.per_core_reads[request.core_id] = (
+                self.per_core_reads.get(request.core_id, 0) + 1
+            )
+
+
+class MemoryController:
+    """One memory channel's controller (the paper simulates a single channel).
+
+    Parameters
+    ----------
+    dram_config:
+        DRAM organization/timing; a fresh :class:`DRAMSystem` is built from it.
+    config:
+        Queue sizes and scheduling knobs.
+    mitigation:
+        Optional RowHammer mitigation implementing the
+        :class:`repro.mitigations.base.RowHammerMitigation` interface.  The
+        mitigation may rewrite the DRAM config (REGA), observe activations,
+        schedule preventive refreshes, inject its own memory traffic (Hydra)
+        and throttle activations (BlockHammer).
+    """
+
+    def __init__(
+        self,
+        dram_config: DRAMConfig,
+        config: Optional[ControllerConfig] = None,
+        mitigation=None,
+    ) -> None:
+        self.config = config or ControllerConfig()
+        self.mitigation = mitigation
+        if mitigation is not None:
+            dram_config = mitigation.adjust_dram_config(dram_config)
+        self.dram_config = dram_config
+        self.dram = DRAMSystem(dram_config)
+        self.mapper = AddressMapper(dram_config)
+        self.stats = ControllerStatistics()
+
+        self.read_queue: List[MemoryRequest] = []
+        self.write_queue: List[MemoryRequest] = []
+        self.preventive_queue: List[MemoryRequest] = []
+
+        org = dram_config.organization
+        self._rank_keys = [
+            (channel, rank)
+            for channel in range(org.channels)
+            for rank in range(org.ranks_per_channel)
+        ]
+        # Stagger periodic refreshes across ranks so they do not collide.
+        stagger = max(1, self.dram_config.tREFI // max(1, len(self._rank_keys)))
+        self.next_refresh_due: Dict[Tuple[int, int], int] = {
+            key: self.dram_config.tREFI + index * stagger
+            for index, key in enumerate(self._rank_keys)
+        }
+        self.extra_rank_refreshes: Dict[Tuple[int, int], int] = {
+            key: 0 for key in self._rank_keys
+        }
+        self._draining_writes = False
+        self._slot_free_callbacks: List[Callable[[], None]] = []
+        self.current_cycle = 0
+
+        if mitigation is not None:
+            mitigation.attach(self)
+            self.dram.add_activation_observer(self._on_activation)
+            self.dram.add_refresh_observer(self._on_refresh)
+
+    # ------------------------------------------------------------------ #
+    # External interface (cores, mitigations)
+    # ------------------------------------------------------------------ #
+    def add_slot_free_callback(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired whenever queue space frees up."""
+        self._slot_free_callbacks.append(callback)
+
+    def enqueue(self, request: MemoryRequest, cycle: int) -> bool:
+        """Add a request to the appropriate queue; returns False when full."""
+        request.arrival_cycle = cycle
+        if request.request_type is RequestType.READ:
+            if len(self.read_queue) >= self.config.read_queue_size:
+                return False
+            self.read_queue.append(request)
+            if request.is_mitigation_traffic:
+                self.stats.mitigation_requests += 1
+            else:
+                self.stats.read_requests += 1
+        elif request.request_type is RequestType.WRITE:
+            if len(self.write_queue) >= self.config.write_queue_size:
+                return False
+            self.write_queue.append(request)
+            if request.is_mitigation_traffic:
+                self.stats.mitigation_requests += 1
+            else:
+                self.stats.write_requests += 1
+        else:
+            self.preventive_queue.append(request)
+            self.stats.preventive_refreshes += 1
+        return True
+
+    def schedule_preventive_refresh(self, address: DRAMAddress, cycle: int) -> None:
+        """Queue a preventive refresh (ACT+PRE) of ``address``'s row."""
+        request = MemoryRequest(
+            request_type=RequestType.PREVENTIVE_REFRESH,
+            address=address,
+            arrival_cycle=cycle,
+            is_mitigation_traffic=True,
+        )
+        self.enqueue(request, cycle)
+
+    def schedule_rank_refresh(self, channel: int, rank: int, count: int) -> None:
+        """Queue ``count`` extra rank-level REF commands (early preventive refresh)."""
+        self.extra_rank_refreshes[(channel, rank)] += count
+        self.stats.early_refresh_operations += 1
+
+    def enqueue_mitigation_request(
+        self, address: DRAMAddress, is_write: bool, cycle: int
+    ) -> bool:
+        """Inject mitigation-generated DRAM traffic (e.g. Hydra counter accesses)."""
+        request = MemoryRequest(
+            request_type=RequestType.WRITE if is_write else RequestType.READ,
+            address=address,
+            arrival_cycle=cycle,
+            is_mitigation_traffic=True,
+        )
+        return self.enqueue(request, cycle)
+
+    def pending_requests(self) -> int:
+        return len(self.read_queue) + len(self.write_queue) + len(self.preventive_queue)
+
+    def has_work(self) -> bool:
+        if self.pending_requests() > 0:
+            return True
+        return any(count > 0 for count in self.extra_rank_refreshes.values())
+
+    # ------------------------------------------------------------------ #
+    # Observers wiring mitigation <-> DRAM
+    # ------------------------------------------------------------------ #
+    def _on_activation(self, cycle: int, address: DRAMAddress, is_preventive: bool) -> None:
+        if self.mitigation is not None:
+            self.mitigation.on_activation(cycle, address, is_preventive)
+
+    def _on_refresh(
+        self, cycle: int, rank_key: Tuple[int, int], start_row: int, count: int
+    ) -> None:
+        if self.mitigation is not None:
+            self.mitigation.on_refresh(cycle, rank_key, start_row, count)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def next_issue_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle >= ``cycle`` at which some command can issue (None if idle)."""
+        decision = self._choose_command(cycle)
+        if decision is None:
+            return None
+        return decision[0]
+
+    def issue_next(self, cycle: int) -> Optional[int]:
+        """Issue the best command at the earliest legal cycle >= ``cycle``.
+
+        Returns the cycle at which the command was issued, or None if the
+        controller has nothing to do.
+        """
+        decision = self._choose_command(cycle)
+        if decision is None:
+            return None
+        issue_cycle, command, request = decision
+        self.current_cycle = issue_cycle
+        result = self.dram.issue(command, issue_cycle)
+        self._post_issue(command, request, issue_cycle, result)
+        return issue_cycle
+
+    # -- command selection ------------------------------------------------
+    def _choose_command(
+        self, cycle: int
+    ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
+        """Pick the highest-priority issuable command and its issue cycle."""
+        refresh_decision = self._refresh_command(cycle)
+        if refresh_decision is not None:
+            return refresh_decision
+        preventive_decision = self._preventive_command(cycle)
+        if preventive_decision is not None:
+            return preventive_decision
+        return self._demand_command(cycle)
+
+    def _refresh_command(
+        self, cycle: int
+    ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
+        if not self.dram_config.refresh_enabled:
+            return None
+        best: Optional[Tuple[int, Command]] = None
+        for rank_key in self._rank_keys:
+            channel, rank_id = rank_key
+            due = self.next_refresh_due[rank_key]
+            owed_extra = self.extra_rank_refreshes[rank_key]
+            if cycle < due and owed_extra == 0:
+                continue
+            rank = self.dram.rank(channel, rank_id)
+            open_banks = [
+                (bankgroup, bank)
+                for (bankgroup, bank), state in rank.banks.items()
+                if not state.is_closed()
+            ]
+            if open_banks:
+                # Close one open bank so the REF can go out.
+                candidates = []
+                for bankgroup, bank in open_banks:
+                    command = Command(
+                        CommandKind.PRE,
+                        channel=channel,
+                        rank=rank_id,
+                        bankgroup=bankgroup,
+                        bank=bank,
+                    )
+                    candidates.append(
+                        (self.dram.earliest_issue_cycle(command, cycle), command)
+                    )
+                candidate = min(candidates, key=lambda item: item[0])
+            else:
+                command = Command(CommandKind.REF, channel=channel, rank=rank_id)
+                candidate = (self.dram.earliest_issue_cycle(command, cycle), command)
+            if best is None or candidate[0] < best[0]:
+                best = candidate
+        if best is None:
+            return None
+        return best[0], best[1], None
+
+    def _preventive_command(
+        self, cycle: int
+    ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
+        self._prune_preventive_queue(cycle)
+        best: Optional[Tuple[int, Command, MemoryRequest]] = None
+        for request in self.preventive_queue:
+            command = self._next_command_for_refresh(request)
+            issue_cycle = self.dram.earliest_issue_cycle(command, cycle)
+            if best is None or issue_cycle < best[0]:
+                best = (issue_cycle, command, request)
+        return best
+
+    def _prune_preventive_queue(self, cycle: int) -> None:
+        """Complete preventive refreshes whose victim row was already closed.
+
+        The victim row is refreshed by its preventive ACT; the trailing PRE
+        only closes it.  If another command (a refresh PRE, a demand conflict
+        PRE or another preventive refresh to the same bank) already closed the
+        bank, the refresh is done and the request can retire.
+        """
+        finished = []
+        for request in self.preventive_queue:
+            if not request.__dict__.get("_refresh_activated", False):
+                continue
+            bank = self.dram.bank_for(request.address)
+            if bank.is_closed() or bank.open_row != request.address.row:
+                finished.append(request)
+        for request in finished:
+            self.preventive_queue.remove(request)
+            request.complete(cycle)
+            self.dram.stats.preventive_refresh_pairs += 1
+            self._notify_slot_free()
+
+    def _next_command_for_refresh(self, request: MemoryRequest) -> Command:
+        address = request.address
+        bank = self.dram.bank_for(address)
+        activated = request.__dict__.get("_refresh_activated", False)
+        if not activated:
+            if bank.is_closed():
+                return Command(
+                    CommandKind.ACT,
+                    channel=address.channel,
+                    rank=address.rank,
+                    bankgroup=address.bankgroup,
+                    bank=address.bank,
+                    row=address.row,
+                    is_preventive=True,
+                )
+            return Command(
+                CommandKind.PRE,
+                channel=address.channel,
+                rank=address.rank,
+                bankgroup=address.bankgroup,
+                bank=address.bank,
+            )
+        # Already activated: close the victim row to finish the refresh.
+        return Command(
+            CommandKind.PRE,
+            channel=address.channel,
+            rank=address.rank,
+            bankgroup=address.bankgroup,
+            bank=address.bank,
+            is_preventive=True,
+        )
+
+    def _demand_command(
+        self, cycle: int
+    ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
+        self._update_drain_mode()
+        queues: List[List[MemoryRequest]] = []
+        if self.read_queue:
+            queues.append(self.read_queue)
+        if self.write_queue and (self._draining_writes or not self.read_queue):
+            queues.append(self.write_queue)
+        if not queues:
+            return None
+
+        # Group requests by bank, preserving arrival order inside each bank.
+        by_bank: Dict[Tuple[int, int, int, int], List[MemoryRequest]] = {}
+        for queue in queues:
+            for request in queue:
+                by_bank.setdefault(request.address.bank_key, []).append(request)
+
+        best: Optional[Tuple[int, int, Command, MemoryRequest]] = None
+        for bank_key, requests in by_bank.items():
+            candidate = self._bank_candidate(bank_key, requests, cycle)
+            if candidate is None:
+                continue
+            issue_cycle, command, request = candidate
+            order = (issue_cycle, request.arrival_cycle)
+            if best is None or order < (best[0], best[1]):
+                best = (issue_cycle, request.arrival_cycle, command, request)
+        if best is None:
+            return None
+        return best[0], best[2], best[3]
+
+    def _bank_candidate(
+        self,
+        bank_key: Tuple[int, int, int, int],
+        requests: List[MemoryRequest],
+        cycle: int,
+    ) -> Optional[Tuple[int, Command, MemoryRequest]]:
+        channel, rank_id, bankgroup, bank_id = bank_key
+        bank = self.dram.bank(channel, rank_id, bankgroup, bank_id)
+        requests = sorted(requests, key=lambda r: (r.arrival_cycle, r.request_id))
+
+        if bank.is_closed():
+            # Oldest request wins; it needs an ACT first.
+            request = requests[0]
+            command = Command(
+                CommandKind.ACT,
+                channel=channel,
+                rank=rank_id,
+                bankgroup=bankgroup,
+                bank=bank_id,
+                row=request.address.row,
+            )
+            issue_cycle = self.dram.earliest_issue_cycle(command, cycle)
+            issue_cycle = self._apply_act_throttle(request, issue_cycle)
+            return issue_cycle, command, request
+
+        open_row = bank.open_row
+        row_hits = [r for r in requests if r.address.row == open_row]
+        cap_reached = bank.open_row_column_accesses >= self.config.column_cap
+        has_conflict = any(r.address.row != open_row for r in requests)
+
+        if row_hits and not (cap_reached and has_conflict):
+            request = row_hits[0]
+            kind = CommandKind.WR if request.is_write else CommandKind.RD
+            command = Command(
+                kind,
+                channel=channel,
+                rank=rank_id,
+                bankgroup=bankgroup,
+                bank=bank_id,
+                column=request.address.column,
+            )
+            return self.dram.earliest_issue_cycle(command, cycle), command, request
+
+        # Row conflict (or column cap reached): precharge on behalf of the
+        # oldest conflicting request.
+        conflicting = [r for r in requests if r.address.row != open_row]
+        if not conflicting:
+            return None
+        request = conflicting[0]
+        command = Command(
+            CommandKind.PRE,
+            channel=channel,
+            rank=rank_id,
+            bankgroup=bankgroup,
+            bank=bank_id,
+        )
+        return self.dram.earliest_issue_cycle(command, cycle), command, request
+
+    def _apply_act_throttle(self, request: MemoryRequest, issue_cycle: int) -> int:
+        """Let the mitigation delay an activation (BlockHammer-style throttling)."""
+        if self.mitigation is None:
+            return issue_cycle
+        allowed = self.mitigation.act_allowed_cycle(request.address, issue_cycle)
+        return max(issue_cycle, allowed)
+
+    def _update_drain_mode(self) -> None:
+        if self._draining_writes:
+            if len(self.write_queue) <= self.config.write_drain_low:
+                self._draining_writes = False
+        elif len(self.write_queue) >= self.config.write_drain_high:
+            self._draining_writes = True
+
+    # -- post-issue bookkeeping -------------------------------------------
+    def _post_issue(
+        self,
+        command: Command,
+        request: Optional[MemoryRequest],
+        cycle: int,
+        result: Optional[int],
+    ) -> None:
+        if command.kind is CommandKind.REF:
+            rank_key = (command.channel, command.rank)
+            if self.extra_rank_refreshes[rank_key] > 0:
+                self.extra_rank_refreshes[rank_key] -= 1
+            else:
+                self.next_refresh_due[rank_key] += self.dram_config.tREFI
+            return
+
+        if command.kind is CommandKind.ACT and request is not None:
+            if request.request_type is RequestType.PREVENTIVE_REFRESH:
+                request.__dict__["_refresh_activated"] = True
+            return
+
+        if command.kind is CommandKind.PRE:
+            if (
+                request is not None
+                and request.request_type is RequestType.PREVENTIVE_REFRESH
+                and request.__dict__.get("_refresh_activated", False)
+            ):
+                self.preventive_queue.remove(request)
+                request.complete(cycle)
+                self.dram.stats.preventive_refresh_pairs += 1
+                self._notify_slot_free()
+            return
+
+        if command.kind in (CommandKind.RD, CommandKind.WR) and request is not None:
+            request.issue_cycle = cycle
+            completion = result if result is not None else cycle
+            queue = self.write_queue if request.is_write else self.read_queue
+            queue.remove(request)
+            request.complete(completion)
+            if request.is_read and not request.is_mitigation_traffic:
+                self.stats.record_read_completion(request)
+            self._classify_row_buffer_outcome(request)
+            self._notify_slot_free()
+
+    def _classify_row_buffer_outcome(self, request: MemoryRequest) -> None:
+        # A request that was served with a single column command (no ACT on
+        # its behalf) is a row hit; this approximation counts hits by whether
+        # its issue happened while the row was already open long enough.
+        bank = self.dram.bank_for(request.address)
+        if bank.open_row_column_accesses > 1:
+            self.stats.row_hits += 1
+        else:
+            self.stats.row_misses += 1
+
+    def _notify_slot_free(self) -> None:
+        for callback in self._slot_free_callbacks:
+            callback()
+
+    # ------------------------------------------------------------------ #
+    # Draining (used at the end of simulations)
+    # ------------------------------------------------------------------ #
+    def drain(self, cycle: int, max_commands: int = 10_000_000) -> int:
+        """Issue commands until all queues are empty; returns the final cycle."""
+        issued = 0
+        current = cycle
+        while self.has_work() and issued < max_commands:
+            next_cycle = self.issue_next(current)
+            if next_cycle is None:
+                break
+            current = next_cycle
+            issued += 1
+        return current

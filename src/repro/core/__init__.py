@@ -1,0 +1,30 @@
+"""CoMeT: Count-Min-Sketch-based row tracking (the paper's contribution).
+
+The mechanism combines two per-bank structures:
+
+* :class:`~repro.core.counter_table.CounterTable` — a Count-Min Sketch with
+  conservative updates whose counters saturate at the preventive refresh
+  threshold ``NPR`` and are only reset in bulk (periodic reset / early
+  preventive refresh);
+* :class:`~repro.core.rat.RecentAggressorTable` — a small table of tagged
+  per-row counters allocated to rows that reached ``NPR``, so saturated
+  sketch counters do not keep triggering unnecessary refreshes.
+
+:class:`~repro.core.comet.CoMeT` wires both into the
+:class:`~repro.mitigations.base.RowHammerMitigation` interface together with
+the RAT-miss-history-driven early preventive refresh and the periodic counter
+reset of Sections 4.1-4.3.
+"""
+
+from repro.core.config import CoMeTConfig
+from repro.core.counter_table import CounterTable
+from repro.core.rat import RecentAggressorTable, RATStatistics
+from repro.core.comet import CoMeT
+
+__all__ = [
+    "CoMeTConfig",
+    "CounterTable",
+    "RecentAggressorTable",
+    "RATStatistics",
+    "CoMeT",
+]

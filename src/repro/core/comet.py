@@ -1,0 +1,207 @@
+"""The CoMeT RowHammer mitigation mechanism (Section 4 of the paper).
+
+Operation on every row activation (Section 4.1):
+
+1. **Periodic reset** (lazy): if the counter reset period (``tREFW / k``)
+   elapsed, all Counter Table and RAT counters are cleared.
+2. **Activation count estimation**: the activation count is the row's RAT
+   counter if the row has a RAT entry, otherwise the minimum of its Counter
+   Table counter group.
+3. **Update / preventive refresh**: if the updated count reaches the
+   preventive refresh threshold ``NPR = NRH / (k+1)``, CoMeT preventively
+   refreshes the row's two neighbours, saturates the row's CT counter group
+   at ``NPR`` and (re)allocates a RAT entry with counter 0; otherwise it
+   increments the RAT counter (if present) or the CT counter group
+   (conservative update).
+4. **Early preventive refresh** (Section 4.2): every RAT miss by a row whose
+   CT counters were *already* at ``NPR`` is a capacity miss (the row was
+   evicted from the RAT); if the RAT-miss history vector holds more capacity
+   misses than the early-preventive-refresh threshold, CoMeT refreshes the
+   whole rank (tREFW/tREFI REF commands) and resets all counters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core.config import CoMeTConfig
+from repro.core.counter_table import CounterTable
+from repro.core.rat import RecentAggressorTable
+from repro.dram.address import DRAMAddress
+from repro.mitigations.base import RowHammerMitigation
+
+BankKey = Tuple[int, int, int, int]
+
+
+class _BankTracker:
+    """Per-bank CoMeT state: one Counter Table, one RAT, one miss-history vector."""
+
+    def __init__(self, config: CoMeTConfig, bank_seed: int) -> None:
+        self.counter_table = CounterTable(config, bank_seed=bank_seed)
+        self.rat = RecentAggressorTable(config.rat_entries, seed=bank_seed)
+        self.miss_history: Deque[int] = deque(maxlen=config.rat_miss_history_length)
+
+    def reset(self) -> None:
+        self.counter_table.reset()
+        self.rat.reset()
+        self.miss_history.clear()
+
+    @property
+    def capacity_misses_in_history(self) -> int:
+        return sum(self.miss_history)
+
+
+class CoMeT(RowHammerMitigation):
+    """Count-Min-Sketch-based row tracking to mitigate RowHammer at low cost."""
+
+    name = "comet"
+
+    def __init__(
+        self,
+        nrh: int,
+        config: Optional[CoMeTConfig] = None,
+        blast_radius: int = 1,
+    ) -> None:
+        super().__init__(nrh=nrh, blast_radius=blast_radius)
+        self.config = config or CoMeTConfig(nrh=nrh, blast_radius=blast_radius)
+        self._banks: Dict[BankKey, _BankTracker] = {}
+        self._next_reset_cycle: Optional[int] = None
+        self._reset_period: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def attach(self, controller) -> None:
+        super().attach(controller)
+        self._reset_period = self.config.reset_period_cycles(self.dram_config.tREFW)
+        self._next_reset_cycle = self._reset_period
+
+    def bank_tracker(self, bank_key: BankKey) -> _BankTracker:
+        tracker = self._banks.get(bank_key)
+        if tracker is None:
+            seed = self.config.hash_seed + (hash(bank_key) % 997)
+            tracker = _BankTracker(self.config, bank_seed=seed)
+            self._banks[bank_key] = tracker
+        return tracker
+
+    # ------------------------------------------------------------------ #
+    # Main event hook (Section 4.1)
+    # ------------------------------------------------------------------ #
+    def on_activation(self, cycle: int, address: DRAMAddress, is_preventive: bool) -> None:
+        # Preventive ACTs are tracked like any other activation: the Counter
+        # Table counts every ACT command the scheduler issues, and a
+        # preventively refreshed victim row disturbs *its* neighbours, so
+        # skipping these would leave refresh storms unobserved.
+        self._maybe_periodic_reset(cycle)
+        self.stats.observed_activations += 1
+
+        tracker = self.bank_tracker(address.bank_key)
+        row = address.row
+        npr = self.config.npr
+
+        # Step 2: activation count estimation (RAT wins over CT when present).
+        rat_value = tracker.rat.lookup(row)
+        in_rat = rat_value is not None
+        ct_estimate = tracker.counter_table.estimate(row)
+        estimate = rat_value if in_rat else ct_estimate
+        updated_count = estimate + 1
+
+        # Step 3: update counters / trigger a preventive refresh.
+        if updated_count >= npr:
+            self._handle_aggressor(cycle, address, tracker, in_rat, ct_estimate)
+        else:
+            if in_rat:
+                tracker.rat.increment(row)
+            else:
+                tracker.counter_table.increment(row)
+
+    def _handle_aggressor(
+        self,
+        cycle: int,
+        address: DRAMAddress,
+        tracker: _BankTracker,
+        in_rat: bool,
+        ct_estimate: int,
+    ) -> None:
+        row = address.row
+        npr = self.config.npr
+
+        self.refresh_victims(cycle, address)
+        tracker.counter_table.saturate(row)
+
+        if in_rat:
+            tracker.rat.set(row, 0)
+            return
+
+        # RAT miss: classify it for the early-preventive-refresh mechanism.
+        # A row whose CT counters were already at NPR before this activation
+        # must have been identified as an aggressor earlier in this reset
+        # period and then evicted from the RAT -> capacity miss.
+        capacity_miss = ct_estimate >= npr
+        tracker.miss_history.append(1 if capacity_miss else 0)
+        if capacity_miss:
+            tracker.rat.stats.capacity_misses += 1
+        else:
+            tracker.rat.stats.compulsory_misses += 1
+
+        evicted = tracker.rat.allocate(row, 0)
+        if evicted is not None:
+            self.stats.bump("rat_evictions")
+
+        # Step 4: early preventive refresh at coarse granularity (Section 4.2).
+        if tracker.capacity_misses_in_history >= self.config.early_refresh_threshold:
+            self._early_preventive_refresh(cycle, address)
+
+    # ------------------------------------------------------------------ #
+    # Early preventive refresh (Section 4.2)
+    # ------------------------------------------------------------------ #
+    def _early_preventive_refresh(self, cycle: int, address: DRAMAddress) -> None:
+        """Refresh every row of the rank and reset all counters of its banks."""
+        refresh_commands = max(1, self.dram_config.tREFW // self.dram_config.tREFI)
+        self.controller.schedule_rank_refresh(address.channel, address.rank, refresh_commands)
+        self.stats.early_refresh_operations += 1
+        for bank_key, tracker in self._banks.items():
+            if bank_key[0] == address.channel and bank_key[1] == address.rank:
+                tracker.reset()
+
+    # ------------------------------------------------------------------ #
+    # Periodic counter reset (Section 4.3)
+    # ------------------------------------------------------------------ #
+    def _maybe_periodic_reset(self, cycle: int) -> None:
+        if self._next_reset_cycle is None or cycle < self._next_reset_cycle:
+            return
+        while cycle >= self._next_reset_cycle:
+            self._next_reset_cycle += self._reset_period
+        for tracker in self._banks.values():
+            tracker.reset()
+        self.stats.counter_resets += 1
+
+    # ------------------------------------------------------------------ #
+    # Storage model (Section 7.2 / Table 4)
+    # ------------------------------------------------------------------ #
+    def storage_bits_per_bank(self) -> int:
+        return self.config.storage_bits_per_bank
+
+    def storage_report(self) -> Dict[str, float]:
+        banks = self.bank_count() if self.dram_config is not None else 32
+        ct_bits = self.config.ct_storage_bits_per_bank * banks
+        rat_bits = self.config.rat_storage_bits_per_bank * banks
+        history_bits = self.config.history_storage_bits_per_bank * banks
+        total = ct_bits + rat_bits + history_bits
+        return {
+            "ct_KiB": ct_bits / 8 / 1024,
+            "rat_KiB": rat_bits / 8 / 1024,
+            "history_KiB": history_bits / 8 / 1024,
+            "total_KiB": total / 8 / 1024,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by tests and analysis
+    # ------------------------------------------------------------------ #
+    def estimate(self, bank_key: BankKey, row: int) -> int:
+        """Current activation-count estimate for a row (RAT first, then CT)."""
+        tracker = self.bank_tracker(bank_key)
+        if tracker.rat.contains(row):
+            return tracker.rat.entries_snapshot()[row]
+        return tracker.counter_table.estimate(row)

@@ -1,0 +1,99 @@
+"""CoMeT configuration.
+
+Default values follow the design-space exploration of Section 7.1:
+
+* Counter Table: 4 hash functions x 512 counters per hash function per bank
+  (Figure 6), conservative updates, counters saturate at ``NPR``.
+* Recent Aggressor Table: 128 entries per bank (Figure 7), 17-bit row tags.
+* Counter reset period ``tREFW / k`` with ``k = 3`` and preventive refresh
+  threshold ``NPR = NRH / (k + 1)`` (Equation 1, Figure 9).
+* Early preventive refresh: 256-entry RAT-miss history vector with an early
+  preventive refresh threshold of 25% capacity misses (Figure 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoMeTConfig:
+    """All tunable parameters of CoMeT."""
+
+    nrh: int
+    num_hashes: int = 4
+    counters_per_hash: int = 512
+    rat_entries: int = 128
+    reset_period_divider: int = 3          # the "k" of Equation 1
+    rat_miss_history_length: int = 256
+    early_refresh_threshold_fraction: float = 0.25
+    row_tag_bits: int = 17
+    blast_radius: int = 1
+    hash_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nrh <= 0:
+            raise ValueError("nrh must be positive")
+        if self.num_hashes <= 0 or self.counters_per_hash <= 0:
+            raise ValueError("counter table dimensions must be positive")
+        if self.rat_entries <= 0:
+            raise ValueError("rat_entries must be positive")
+        if self.reset_period_divider <= 0:
+            raise ValueError("reset_period_divider must be positive")
+        if not 0.0 <= self.early_refresh_threshold_fraction <= 1.0:
+            raise ValueError("early_refresh_threshold_fraction must be in [0, 1]")
+        if self.npr < 1:
+            raise ValueError(
+                f"NRH={self.nrh} with k={self.reset_period_divider} yields NPR < 1; "
+                "use a smaller reset_period_divider"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived parameters
+    # ------------------------------------------------------------------ #
+    @property
+    def npr(self) -> int:
+        """Preventive refresh threshold: NPR = NRH / (k + 1)  (Equation 1)."""
+        return self.nrh // (self.reset_period_divider + 1)
+
+    @property
+    def counter_width_bits(self) -> int:
+        """Bits per Counter Table counter: enough to hold NPR (saturating)."""
+        return max(1, math.ceil(math.log2(self.npr + 1)))
+
+    @property
+    def total_ct_counters(self) -> int:
+        return self.num_hashes * self.counters_per_hash
+
+    @property
+    def early_refresh_threshold(self) -> int:
+        """Capacity misses in the history vector that trigger an early refresh."""
+        return max(1, int(self.rat_miss_history_length * self.early_refresh_threshold_fraction))
+
+    def reset_period_cycles(self, trefw_cycles: int) -> int:
+        """Counter reset period: tREFW / k."""
+        return max(1, trefw_cycles // self.reset_period_divider)
+
+    # ------------------------------------------------------------------ #
+    # Storage model (Section 7.2 / Table 4)
+    # ------------------------------------------------------------------ #
+    @property
+    def ct_storage_bits_per_bank(self) -> int:
+        return self.total_ct_counters * self.counter_width_bits
+
+    @property
+    def rat_storage_bits_per_bank(self) -> int:
+        return self.rat_entries * (self.row_tag_bits + self.counter_width_bits)
+
+    @property
+    def history_storage_bits_per_bank(self) -> int:
+        return self.rat_miss_history_length
+
+    @property
+    def storage_bits_per_bank(self) -> int:
+        return (
+            self.ct_storage_bits_per_bank
+            + self.rat_storage_bits_per_bank
+            + self.history_storage_bits_per_bank
+        )

@@ -1,0 +1,267 @@
+"""Trace-driven core model.
+
+The core replays a :class:`~repro.cpu.trace.Trace` against the memory system.
+It models the performance-relevant features of the 4-wide, 128-entry-window
+out-of-order core of Table 2 without simulating individual instructions:
+
+* non-memory instructions retire at ``width`` per CPU cycle;
+* memory reads (LLC misses) occupy the instruction window until their data
+  returns, and at most ``max_outstanding_reads`` reads may be in flight, so
+  long DRAM latencies stall the core exactly the way a full window would;
+* writes are posted (they never stall retirement unless the controller's
+  write queue is full).
+
+The core runs in memory-controller clock cycles (``cpu_to_mem_ratio`` CPU
+cycles per memory cycle) because the rest of the simulator is event-driven in
+that clock domain.  IPC is reported in CPU cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.controller.controller import MemoryController
+from repro.controller.request import MemoryRequest, RequestType
+from repro.cpu.cache import LastLevelCache
+from repro.cpu.trace import Trace
+from repro.dram.address import AddressMapper
+
+_INFINITY = math.inf
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Core microarchitecture parameters (defaults follow Table 2)."""
+
+    width: int = 4
+    window_size: int = 128
+    cpu_to_mem_ratio: float = 3.0
+    max_outstanding_reads: int = 8
+
+    @property
+    def issue_rate_per_mem_cycle(self) -> float:
+        """Instructions the core can dispatch per memory-controller cycle."""
+        return self.width * self.cpu_to_mem_ratio
+
+
+@dataclass
+class _OutstandingRead:
+    """Book-keeping for one in-flight read."""
+
+    dispatched_instructions: int
+    completion_cycle: Optional[float] = None
+
+
+@dataclass
+class CoreStatistics:
+    retired_instructions: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    stall_events: int = 0
+    finish_cycle: float = 0.0
+
+
+class Core:
+    """One trace-driven core attached to a shared memory controller."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Trace,
+        controller: MemoryController,
+        config: Optional[CoreConfig] = None,
+        cache: Optional[LastLevelCache] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.controller = controller
+        self.config = config or CoreConfig()
+        self.cache = cache
+        self.mapper: AddressMapper = controller.mapper
+        self.stats = CoreStatistics()
+
+        self._cursor = 0
+        self._front_cycle = 0.0
+        self._dispatched_instructions = 0
+        self._outstanding: List[_OutstandingRead] = []
+        self._blocked_on_queue: Optional[MemoryRequest] = None
+        self._last_completion_cycle = 0.0
+        self._trace_exhausted = len(trace) == 0
+        controller.add_slot_free_callback(self._on_queue_slot_free)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling interface used by the system simulation
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        return (
+            self._trace_exhausted
+            and not self._outstanding
+            and self._blocked_on_queue is None
+        )
+
+    def next_event_cycle(self) -> float:
+        """Cycle at which the core next wants to act; inf when waiting on memory."""
+        if self.finished:
+            return _INFINITY
+        if self._blocked_on_queue is not None:
+            return _INFINITY
+        if self._trace_exhausted:
+            return _INFINITY
+        return self._dispatch_cycle_for_next_entry()
+
+    def step(self, cycle: float) -> None:
+        """Process the next trace entry at ``cycle`` (== :meth:`next_event_cycle`)."""
+        if self._blocked_on_queue is not None:
+            self._retry_blocked_request(cycle)
+            return
+        if self._trace_exhausted:
+            return
+        entry = self.trace[self._cursor]
+        self._retire_completed(cycle)
+        self._issue_entry(cycle, entry)
+        self._cursor += 1
+        self._dispatched_instructions += entry.bubble_count + 1
+        self.stats.retired_instructions = self._dispatched_instructions
+        self._front_cycle = cycle
+        if self._cursor >= len(self.trace):
+            self._trace_exhausted = True
+
+    # ------------------------------------------------------------------ #
+    # Internal mechanics
+    # ------------------------------------------------------------------ #
+    def _dispatch_cycle_for_next_entry(self) -> float:
+        entry = self.trace[self._cursor]
+        candidate = self._front_cycle + entry.bubble_count / self.config.issue_rate_per_mem_cycle
+        outstanding = list(self._outstanding)
+        while True:
+            outstanding = [
+                read
+                for read in outstanding
+                if read.completion_cycle is None or read.completion_cycle > candidate
+            ]
+            if self._constraints_ok(outstanding, entry.bubble_count + 1):
+                return candidate
+            oldest = outstanding[0]
+            if oldest.completion_cycle is None:
+                # Blocked on a read whose completion time the controller has
+                # not determined yet; the completion callback will wake us.
+                return _INFINITY
+            candidate = max(candidate, oldest.completion_cycle)
+            outstanding.pop(0)
+
+    def _constraints_ok(self, outstanding: List[_OutstandingRead], new_instructions: int) -> bool:
+        if len(outstanding) >= self.config.max_outstanding_reads:
+            return False
+        if outstanding:
+            window_usage = (
+                self._dispatched_instructions
+                + new_instructions
+                - outstanding[0].dispatched_instructions
+            )
+            if window_usage > self.config.window_size:
+                return False
+        return True
+
+    def _retire_completed(self, cycle: float) -> None:
+        """Retire in program order every read whose data has arrived by ``cycle``."""
+        while self._outstanding:
+            oldest = self._outstanding[0]
+            if oldest.completion_cycle is not None and oldest.completion_cycle <= cycle:
+                self._outstanding.pop(0)
+            else:
+                break
+
+    def _issue_entry(self, cycle: float, entry) -> None:
+        address = entry.address
+        is_write = entry.is_write
+        if self.cache is not None:
+            result = self.cache.access(address, is_write=is_write)
+            if result.hit:
+                self.stats.llc_hits += 1
+                return
+            self.stats.llc_misses += 1
+            if result.writeback_address is not None:
+                self._send_write(result.writeback_address, cycle)
+            # The demand access becomes a fill (read) regardless of r/w; a
+            # write miss allocates the line and dirties it in the cache.
+            self._send_read(result.fill_address, cycle)
+            return
+        if is_write:
+            self._send_write(address, cycle)
+        else:
+            self._send_read(address, cycle)
+
+    def _send_read(self, address: int, cycle: float) -> None:
+        record = _OutstandingRead(dispatched_instructions=self._dispatched_instructions)
+        self._outstanding.append(record)
+        request = MemoryRequest(
+            request_type=RequestType.READ,
+            address=self.mapper.decode(address),
+            physical_address=address,
+            core_id=self.core_id,
+            on_complete=lambda req, done, rec=record: self._on_read_complete(rec, done),
+        )
+        self.stats.memory_reads += 1
+        if not self.controller.enqueue(request, int(cycle)):
+            self._blocked_on_queue = request
+            self.stats.stall_events += 1
+
+    def _send_write(self, address: int, cycle: float) -> None:
+        request = MemoryRequest(
+            request_type=RequestType.WRITE,
+            address=self.mapper.decode(address),
+            physical_address=address,
+            core_id=self.core_id,
+        )
+        self.stats.memory_writes += 1
+        if not self.controller.enqueue(request, int(cycle)):
+            self._blocked_on_queue = request
+            self.stats.stall_events += 1
+
+    def _on_read_complete(self, record: _OutstandingRead, cycle: int) -> None:
+        record.completion_cycle = float(cycle)
+        self._last_completion_cycle = max(self._last_completion_cycle, float(cycle))
+        self.stats.finish_cycle = max(self.stats.finish_cycle, float(cycle))
+        # Drop completed reads from the head so `finished` becomes observable.
+        self._retire_completed(float(cycle))
+
+    def _retry_blocked_request(self, cycle: float) -> None:
+        request = self._blocked_on_queue
+        if request is None:
+            return
+        if self.controller.enqueue(request, int(cycle)):
+            self._blocked_on_queue = None
+            self._front_cycle = max(self._front_cycle, cycle)
+
+    def _on_queue_slot_free(self) -> None:
+        # Nothing to do eagerly: the system simulation polls
+        # `has_blocked_request` after controller progress and retries then.
+        pass
+
+    def retry_blocked(self, cycle: float) -> bool:
+        """Retry a request rejected on a full queue; True when it got enqueued."""
+        self._retry_blocked_request(cycle)
+        return self._blocked_on_queue is None
+
+    @property
+    def has_blocked_request(self) -> bool:
+        return self._blocked_on_queue is not None
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def completion_cycle(self) -> float:
+        """Memory cycle at which the core finished its trace (valid when finished)."""
+        return max(self._front_cycle, self._last_completion_cycle)
+
+    def instructions_per_cycle(self) -> float:
+        """IPC in CPU cycles (the metric every performance figure reports)."""
+        cycles = self.completion_cycle() * self.config.cpu_to_mem_ratio
+        if cycles <= 0:
+            return 0.0
+        return self.stats.retired_instructions / cycles

@@ -1,0 +1,38 @@
+"""DDR4 DRAM device model.
+
+This subpackage is the reproduction's substitute for Ramulator's DRAM model:
+a command-granularity, timing-accurate model of a DDR4 memory system
+(channel / rank / bank-group / bank / row / column) sufficient to reproduce
+the command streams, bandwidth contention and refresh behaviour that the
+CoMeT paper's evaluation depends on.
+
+Main entry points:
+
+* :class:`~repro.dram.config.DRAMConfig` — organization + timing parameters
+  (defaults model the paper's DDR4 configuration in Table 2).
+* :class:`~repro.dram.address.AddressMapper` — physical address to DRAM
+  coordinate translation.
+* :class:`~repro.dram.dram_system.DRAMSystem` — the device model itself:
+  accepts commands, enforces every timing constraint, tracks open rows and
+  per-row activation counts (used by the security verifier).
+"""
+
+from repro.dram.config import DRAMConfig, DRAMTiming, DRAMOrganization
+from repro.dram.commands import Command, CommandKind
+from repro.dram.address import AddressMapper, DRAMAddress
+from repro.dram.bank import Bank, BankState
+from repro.dram.dram_system import DRAMSystem, Rank
+
+__all__ = [
+    "DRAMConfig",
+    "DRAMTiming",
+    "DRAMOrganization",
+    "Command",
+    "CommandKind",
+    "AddressMapper",
+    "DRAMAddress",
+    "Bank",
+    "BankState",
+    "Rank",
+    "DRAMSystem",
+]

@@ -1,0 +1,181 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+The memory controller translates cache-line-aligned physical addresses into
+(channel, rank, bank group, bank, row, column) coordinates.  The default
+mapping interleaves consecutive cache lines across channels, bank groups and
+banks before touching rank and row bits — the standard
+``Row:Rank:BankGroup:Bank:Column:Channel`` style mapping that maximizes
+bank-level parallelism for streaming workloads, matching the behaviour that
+Ramulator's default DDR4 mapping gives the paper's workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.dram.config import DRAMConfig
+
+
+@dataclass(frozen=True, order=True)
+class DRAMAddress:
+    """A fully decoded DRAM coordinate."""
+
+    channel: int
+    rank: int
+    bankgroup: int
+    bank: int
+    row: int
+    column: int
+
+    @property
+    def bank_key(self) -> Tuple[int, int, int, int]:
+        """Globally unique bank identifier (channel, rank, bankgroup, bank)."""
+        return (self.channel, self.rank, self.bankgroup, self.bank)
+
+    @property
+    def row_key(self) -> Tuple[int, int, int, int, int]:
+        """Globally unique row identifier."""
+        return (self.channel, self.rank, self.bankgroup, self.bank, self.row)
+
+
+def _bits(value: int) -> int:
+    """Number of bits needed to index ``value`` distinct items (0 for 1 item)."""
+    if value <= 1:
+        return 0
+    return (value - 1).bit_length()
+
+
+class AddressMapper:
+    """Translates byte physical addresses to :class:`DRAMAddress` and back.
+
+    The bit layout, from least to most significant, is::
+
+        [cacheline offset][channel][bankgroup][bank][column][rank][row]
+
+    which interleaves consecutive cache lines across channels and banks
+    (maximizing parallelism) while keeping a row's cache lines contiguous in
+    the column bits (preserving row-buffer locality within a row).
+    """
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        org = config.organization
+        self._offset_bits = _bits(org.cacheline_bytes)
+        self._channel_bits = _bits(org.channels)
+        self._bankgroup_bits = _bits(org.bankgroups_per_rank)
+        self._bank_bits = _bits(org.banks_per_bankgroup)
+        self._column_bits = _bits(org.columns_per_row // org.columns_per_cacheline)
+        self._rank_bits = _bits(org.ranks_per_channel)
+        self._row_bits = _bits(org.rows_per_bank)
+
+    # ------------------------------------------------------------------ #
+    # Decode / encode
+    # ------------------------------------------------------------------ #
+    def decode(self, physical_address: int) -> DRAMAddress:
+        """Decode a byte-granularity physical address."""
+        if physical_address < 0:
+            raise ValueError("physical address must be non-negative")
+        org = self.config.organization
+        value = physical_address >> self._offset_bits
+        value, channel = self._take(value, self._channel_bits, org.channels)
+        value, bankgroup = self._take(value, self._bankgroup_bits, org.bankgroups_per_rank)
+        value, bank = self._take(value, self._bank_bits, org.banks_per_bankgroup)
+        value, column = self._take(
+            value, self._column_bits, org.columns_per_row // org.columns_per_cacheline
+        )
+        value, rank = self._take(value, self._rank_bits, org.ranks_per_channel)
+        row = value % org.rows_per_bank
+        return DRAMAddress(
+            channel=channel,
+            rank=rank,
+            bankgroup=bankgroup,
+            bank=bank,
+            row=row,
+            column=column * org.columns_per_cacheline,
+        )
+
+    def encode(self, address: DRAMAddress) -> int:
+        """Inverse of :meth:`decode` (returns a cache-line-aligned byte address)."""
+        org = self.config.organization
+        value = address.row
+        value = self._put(value, self._rank_bits, address.rank)
+        value = self._put(
+            value, self._column_bits, address.column // org.columns_per_cacheline
+        )
+        value = self._put(value, self._bank_bits, address.bank)
+        value = self._put(value, self._bankgroup_bits, address.bankgroup)
+        value = self._put(value, self._channel_bits, address.channel)
+        return value << self._offset_bits
+
+    @staticmethod
+    def _take(value: int, bits: int, limit: int) -> Tuple[int, int]:
+        if bits == 0:
+            return value, 0
+        field = value & ((1 << bits) - 1)
+        return value >> bits, field % limit
+
+    @staticmethod
+    def _put(value: int, bits: int, field: int) -> int:
+        return (value << bits) | field
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors used by workload generators
+    # ------------------------------------------------------------------ #
+    def address_for_row(
+        self, row: int, bank_index: int = 0, column: int = 0, channel: int = 0
+    ) -> int:
+        """Build a physical address hitting a particular row of a flat bank index.
+
+        ``bank_index`` enumerates (rank, bankgroup, bank) triples in
+        rank-major order; workload and attack generators use this to target
+        specific banks and rows directly.
+        """
+        org = self.config.organization
+        rank, remainder = divmod(bank_index, org.banks_per_rank)
+        bankgroup, bank = divmod(remainder, org.banks_per_bankgroup)
+        return self.encode(
+            DRAMAddress(
+                channel=channel % org.channels,
+                rank=rank % org.ranks_per_channel,
+                bankgroup=bankgroup,
+                bank=bank,
+                row=row % org.rows_per_bank,
+                column=column % org.columns_per_row,
+            )
+        )
+
+    def all_bank_indices(self) -> List[int]:
+        """Flat bank indices for every bank in one channel."""
+        org = self.config.organization
+        return list(range(org.ranks_per_channel * org.banks_per_rank))
+
+    def iter_rows(self, bank_index: int, start: int, count: int) -> Iterator[int]:
+        """Yield physical addresses for ``count`` consecutive rows of a bank."""
+        for offset in range(count):
+            yield self.address_for_row(start + offset, bank_index=bank_index)
+
+    def neighbors(self, address: DRAMAddress, blast_radius: int = 1) -> Sequence[DRAMAddress]:
+        """Victim rows physically adjacent to ``address`` (within ``blast_radius``).
+
+        The paper's mitigations refresh the two immediate neighbours of an
+        aggressor row; a larger blast radius models half-double style
+        configurations used in some sensitivity tests.
+        """
+        org = self.config.organization
+        victims = []
+        for distance in range(1, blast_radius + 1):
+            for direction in (-1, 1):
+                victim_row = address.row + direction * distance
+                if 0 <= victim_row < org.rows_per_bank:
+                    victims.append(
+                        DRAMAddress(
+                            channel=address.channel,
+                            rank=address.rank,
+                            bankgroup=address.bankgroup,
+                            bank=address.bank,
+                            row=victim_row,
+                            column=0,
+                        )
+                    )
+        return victims

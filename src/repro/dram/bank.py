@@ -1,0 +1,189 @@
+"""Per-bank state machine and timing bookkeeping.
+
+Each :class:`Bank` tracks its open row, the earliest cycle at which each
+command type may legally be issued to it, per-row activation counters (used
+by the security verifier and by statistics), and row-buffer hit/miss/conflict
+counts.  Rank- and channel-level constraints (tRRD, tFAW, tCCD, data bus,
+tRFC) are enforced by :class:`repro.dram.dram_system.Rank` /
+:class:`repro.dram.dram_system.DRAMSystem`; the bank only owns the
+bank-scoped constraints (tRCD, tRAS, tRC, tRP, tRTP, tWR).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dram.config import DRAMTiming
+
+
+class BankState(enum.Enum):
+    """Row-buffer state of a bank."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+
+
+@dataclass
+class BankStatistics:
+    """Per-bank activity counters."""
+
+    activations: int = 0
+    precharges: int = 0
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    preventive_activations: int = 0
+
+
+class Bank:
+    """One DRAM bank: open-row tracking plus bank-scoped timing constraints."""
+
+    def __init__(self, timing: DRAMTiming, rows: int, bank_key: tuple = ()) -> None:
+        self.timing = timing
+        self.rows = rows
+        self.bank_key = bank_key
+        self.state = BankState.CLOSED
+        self.open_row: Optional[int] = None
+        self.stats = BankStatistics()
+        # Earliest cycles at which each command type may be issued to this bank.
+        self.next_act = 0
+        self.next_pre = 0
+        self.next_read = 0
+        self.next_write = 0
+        # Activation counts per row since the start of the simulation; the
+        # security verifier keys off of these through the DRAM system.
+        self.activation_counts: Dict[int, int] = {}
+        # Column accesses served from the currently open row (used by the
+        # FR-FCFS column cap).
+        self.open_row_column_accesses = 0
+
+    # ------------------------------------------------------------------ #
+    # Legality checks
+    # ------------------------------------------------------------------ #
+    def can_activate(self, cycle: int) -> bool:
+        return self.state is BankState.CLOSED and cycle >= self.next_act
+
+    def can_precharge(self, cycle: int) -> bool:
+        return self.state is BankState.OPEN and cycle >= self.next_pre
+
+    def can_read(self, cycle: int, row: int) -> bool:
+        return (
+            self.state is BankState.OPEN
+            and self.open_row == row
+            and cycle >= self.next_read
+        )
+
+    def can_write(self, cycle: int, row: int) -> bool:
+        return (
+            self.state is BankState.OPEN
+            and self.open_row == row
+            and cycle >= self.next_write
+        )
+
+    def earliest_activate(self) -> int:
+        return self.next_act
+
+    def earliest_precharge(self) -> int:
+        return self.next_pre
+
+    def earliest_column(self, is_write: bool) -> int:
+        return self.next_write if is_write else self.next_read
+
+    # ------------------------------------------------------------------ #
+    # Command application
+    # ------------------------------------------------------------------ #
+    def activate(self, cycle: int, row: int, preventive: bool = False) -> None:
+        """Apply an ACT command at ``cycle``; raises if the bank is not ready."""
+        if not self.can_activate(cycle):
+            raise TimingViolation(
+                f"ACT to bank {self.bank_key} row {row} at cycle {cycle}: "
+                f"bank state={self.state.value}, next_act={self.next_act}"
+            )
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} out of range for bank with {self.rows} rows")
+        timing = self.timing
+        self.state = BankState.OPEN
+        self.open_row = row
+        self.open_row_column_accesses = 0
+        self.next_read = max(self.next_read, cycle + timing.tRCD)
+        self.next_write = max(self.next_write, cycle + timing.tRCD)
+        self.next_pre = max(self.next_pre, cycle + timing.tRAS)
+        self.next_act = max(self.next_act, cycle + timing.tRC)
+        self.stats.activations += 1
+        if preventive:
+            self.stats.preventive_activations += 1
+        self.activation_counts[row] = self.activation_counts.get(row, 0) + 1
+
+    def precharge(self, cycle: int) -> None:
+        """Apply a PRE command at ``cycle``."""
+        if not self.can_precharge(cycle):
+            raise TimingViolation(
+                f"PRE to bank {self.bank_key} at cycle {cycle}: "
+                f"state={self.state.value}, next_pre={self.next_pre}"
+            )
+        self.state = BankState.CLOSED
+        self.open_row = None
+        self.open_row_column_accesses = 0
+        self.next_act = max(self.next_act, cycle + self.timing.tRP)
+        self.stats.precharges += 1
+
+    def read(self, cycle: int, row: int) -> int:
+        """Apply a RD command; returns the cycle at which data transfer completes."""
+        if not self.can_read(cycle, row):
+            raise TimingViolation(
+                f"RD to bank {self.bank_key} row {row} at cycle {cycle}: "
+                f"open_row={self.open_row}, next_read={self.next_read}"
+            )
+        timing = self.timing
+        self.next_pre = max(self.next_pre, cycle + timing.tRTP)
+        self.stats.reads += 1
+        self.open_row_column_accesses += 1
+        return cycle + timing.tCL + timing.tBURST
+
+    def write(self, cycle: int, row: int) -> int:
+        """Apply a WR command; returns the cycle at which data transfer completes."""
+        if not self.can_write(cycle, row):
+            raise TimingViolation(
+                f"WR to bank {self.bank_key} row {row} at cycle {cycle}: "
+                f"open_row={self.open_row}, next_write={self.next_write}"
+            )
+        timing = self.timing
+        data_end = cycle + timing.tCWL + timing.tBURST
+        self.next_pre = max(self.next_pre, data_end + timing.tWR)
+        self.stats.writes += 1
+        self.open_row_column_accesses += 1
+        return data_end
+
+    def refresh_block(self, cycle: int, until: int) -> None:
+        """Block the bank until ``until`` (rank-level REF under way)."""
+        if self.state is BankState.OPEN:
+            raise TimingViolation(
+                f"REF issued while bank {self.bank_key} has row {self.open_row} open"
+            )
+        self.next_act = max(self.next_act, until)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def is_row_hit(self, row: int) -> bool:
+        return self.state is BankState.OPEN and self.open_row == row
+
+    def is_closed(self) -> bool:
+        return self.state is BankState.CLOSED
+
+    def activation_count(self, row: int) -> int:
+        return self.activation_counts.get(row, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Bank(key={self.bank_key}, state={self.state.value}, "
+            f"open_row={self.open_row}, acts={self.stats.activations})"
+        )
+
+
+class TimingViolation(RuntimeError):
+    """Raised when a command is applied before its timing constraints allow."""

@@ -1,0 +1,70 @@
+"""DRAM command definitions.
+
+The memory controller drives the DRAM device model with the five DDR4
+commands the paper's mechanisms care about: ``ACT``, ``PRE``, ``RD``, ``WR``
+and the rank-level ``REF``.  Preventive refreshes issued by RowHammer
+mitigations are not a distinct DRAM command — per Section 7.2.2 of the paper
+they are performed as an ACT+PRE pair to the victim row — but commands carry
+a ``is_preventive`` flag so statistics and the energy model can attribute
+them separately.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class CommandKind(enum.Enum):
+    """The DDR4 command types modelled by the simulator."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Command:
+    """One DRAM command addressed to a specific location.
+
+    ``rank``/``bankgroup``/``bank`` identify the target bank; ``row`` is
+    required for ACT, ``column`` for RD/WR.  REF is rank-level and ignores the
+    bank fields.
+    """
+
+    kind: CommandKind
+    channel: int = 0
+    rank: int = 0
+    bankgroup: int = 0
+    bank: int = 0
+    row: Optional[int] = None
+    column: Optional[int] = None
+    is_preventive: bool = False
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.kind is CommandKind.ACT and self.row is None:
+            raise ValueError("ACT command requires a row")
+        if self.kind in (CommandKind.RD, CommandKind.WR) and self.column is None:
+            raise ValueError(f"{self.kind} command requires a column")
+
+    @property
+    def bank_key(self) -> tuple:
+        """(bankgroup, bank) pair identifying the target bank within its rank."""
+        return (self.bankgroup, self.bank)
+
+    def describe(self) -> str:
+        """Human-readable one-line description (used in logs and error messages)."""
+        location = f"ch{self.channel}/ra{self.rank}/bg{self.bankgroup}/ba{self.bank}"
+        if self.kind is CommandKind.ACT:
+            location += f"/row{self.row}"
+        elif self.kind in (CommandKind.RD, CommandKind.WR):
+            location += f"/col{self.column}"
+        preventive = " (preventive)" if self.is_preventive else ""
+        return f"{self.kind}{preventive} -> {location}"

@@ -1,0 +1,378 @@
+"""Rank- and channel-level DRAM device model.
+
+:class:`DRAMSystem` owns every bank of every rank of every channel, enforces
+the cross-bank constraints (tRRD, tFAW, tCCD, data-bus occupancy, read/write
+turnaround, tRFC) and exposes two operations to the memory controller:
+
+* :meth:`DRAMSystem.earliest_issue_cycle` — the first cycle at or after a
+  given cycle at which a command would be legal, and
+* :meth:`DRAMSystem.issue` — apply the command, updating all state.
+
+The model also maintains the ground-truth row activation bookkeeping that the
+security verifier and the RowHammer mitigations observe: observers can be
+registered for row activations and for row refreshes (both periodic REF
+coverage and preventive ACT-based refreshes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.dram.address import DRAMAddress
+from repro.dram.bank import Bank, BankState, TimingViolation
+from repro.dram.commands import Command, CommandKind
+from repro.dram.config import DRAMConfig
+
+
+ActivationObserver = Callable[[int, DRAMAddress, bool], None]
+RefreshObserver = Callable[[int, Tuple[int, int], int, int], None]
+RowRefreshObserver = Callable[[int, DRAMAddress], None]
+
+
+@dataclass
+class DRAMStatistics:
+    """Global command counts, used by the energy model and reports."""
+
+    acts: int = 0
+    pres: int = 0
+    reads: int = 0
+    writes: int = 0
+    refreshes: int = 0
+    preventive_acts: int = 0
+    preventive_refresh_pairs: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "acts": self.acts,
+            "pres": self.pres,
+            "reads": self.reads,
+            "writes": self.writes,
+            "refreshes": self.refreshes,
+            "preventive_acts": self.preventive_acts,
+            "preventive_refresh_pairs": self.preventive_refresh_pairs,
+        }
+
+
+class Rank:
+    """One DRAM rank: a set of banks plus rank-scoped timing state."""
+
+    def __init__(self, config: DRAMConfig, channel: int, rank: int) -> None:
+        self.config = config
+        self.channel = channel
+        self.rank = rank
+        org = config.organization
+        timing = config.timing
+        self.banks: Dict[Tuple[int, int], Bank] = {}
+        for bankgroup in range(org.bankgroups_per_rank):
+            for bank in range(org.banks_per_bankgroup):
+                key = (bankgroup, bank)
+                self.banks[key] = Bank(
+                    timing, org.rows_per_bank, bank_key=(channel, rank, bankgroup, bank)
+                )
+        # Rank-level ACT constraints.
+        self.last_act_cycle = -(10**9)
+        self.last_act_bankgroup: Optional[int] = None
+        self.recent_act_cycles: Deque[int] = deque(maxlen=4)
+        # Column command constraints (per rank, bank-group aware).
+        self.last_col_cycle = -(10**9)
+        self.last_col_bankgroup: Optional[int] = None
+        self.last_col_was_write = False
+        self.last_col_data_end = -(10**9)
+        # Refresh state.
+        self.blocked_until = 0
+        self.refresh_row_pointer = 0
+
+    # ------------------------------------------------------------------ #
+    # Constraint queries
+    # ------------------------------------------------------------------ #
+    def earliest_act(self, cycle: int, bankgroup: int, bank: int) -> int:
+        timing = self.config.timing
+        target = self.banks[(bankgroup, bank)]
+        earliest = max(cycle, target.earliest_activate(), self.blocked_until)
+        if self.last_act_bankgroup is not None:
+            rrd = (
+                timing.tRRD_L
+                if bankgroup == self.last_act_bankgroup
+                else timing.tRRD_S
+            )
+            earliest = max(earliest, self.last_act_cycle + rrd)
+        if len(self.recent_act_cycles) == self.recent_act_cycles.maxlen:
+            earliest = max(earliest, self.recent_act_cycles[0] + timing.tFAW)
+        return earliest
+
+    def earliest_pre(self, cycle: int, bankgroup: int, bank: int) -> int:
+        target = self.banks[(bankgroup, bank)]
+        return max(cycle, target.earliest_precharge(), self.blocked_until)
+
+    def earliest_column(
+        self, cycle: int, bankgroup: int, bank: int, is_write: bool
+    ) -> int:
+        timing = self.config.timing
+        target = self.banks[(bankgroup, bank)]
+        earliest = max(cycle, target.earliest_column(is_write), self.blocked_until)
+        if self.last_col_bankgroup is not None:
+            ccd = (
+                timing.tCCD_L
+                if bankgroup == self.last_col_bankgroup
+                else timing.tCCD_S
+            )
+            earliest = max(earliest, self.last_col_cycle + ccd)
+            if self.last_col_was_write and not is_write:
+                wtr = (
+                    timing.tWTR_L
+                    if bankgroup == self.last_col_bankgroup
+                    else timing.tWTR_S
+                )
+                earliest = max(earliest, self.last_col_data_end + wtr)
+            if not self.last_col_was_write and is_write:
+                earliest = max(earliest, self.last_col_cycle + timing.tRTW)
+        return earliest
+
+    def earliest_refresh(self, cycle: int) -> int:
+        """A REF may issue once every bank is precharged and tRP has elapsed."""
+        earliest = max(cycle, self.blocked_until)
+        for bank in self.banks.values():
+            if bank.state is BankState.OPEN:
+                # The controller must precharge first; report the earliest
+                # cycle the bank could be closed and reopened for REF.
+                earliest = max(earliest, bank.earliest_precharge() + self.config.timing.tRP)
+            else:
+                earliest = max(earliest, bank.earliest_activate())
+        return earliest
+
+    def all_banks_closed(self) -> bool:
+        return all(bank.state is BankState.CLOSED for bank in self.banks.values())
+
+    # ------------------------------------------------------------------ #
+    # Command application
+    # ------------------------------------------------------------------ #
+    def apply_act(self, cycle: int, bankgroup: int, bank: int, row: int, preventive: bool) -> None:
+        self.banks[(bankgroup, bank)].activate(cycle, row, preventive=preventive)
+        self.last_act_cycle = cycle
+        self.last_act_bankgroup = bankgroup
+        self.recent_act_cycles.append(cycle)
+
+    def apply_pre(self, cycle: int, bankgroup: int, bank: int) -> None:
+        self.banks[(bankgroup, bank)].precharge(cycle)
+
+    def apply_column(
+        self, cycle: int, bankgroup: int, bank: int, row: int, is_write: bool
+    ) -> int:
+        target = self.banks[(bankgroup, bank)]
+        data_end = target.write(cycle, row) if is_write else target.read(cycle, row)
+        self.last_col_cycle = cycle
+        self.last_col_bankgroup = bankgroup
+        self.last_col_was_write = is_write
+        self.last_col_data_end = data_end
+        return data_end
+
+    def apply_refresh(self, cycle: int) -> Tuple[int, int]:
+        """Apply a rank-level REF; returns the (start_row, row_count) refreshed.
+
+        Every bank of the rank refreshes ``rows_per_refresh`` consecutive rows
+        starting at the rank's refresh pointer, and the whole rank is blocked
+        for tRFC.
+        """
+        if not self.all_banks_closed():
+            raise TimingViolation(
+                f"REF issued to rank {self.rank} with open banks at cycle {cycle}"
+            )
+        timing = self.config.timing
+        until = cycle + timing.tRFC
+        self.blocked_until = max(self.blocked_until, until)
+        for bank in self.banks.values():
+            bank.refresh_block(cycle, until)
+        rows_per_refresh = self.config.rows_per_refresh
+        start_row = self.refresh_row_pointer
+        self.refresh_row_pointer = (
+            self.refresh_row_pointer + rows_per_refresh
+        ) % self.config.organization.rows_per_bank
+        return start_row, rows_per_refresh
+
+
+class DRAMSystem:
+    """The full DRAM device model behind one memory controller."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        org = config.organization
+        self.ranks: Dict[Tuple[int, int], Rank] = {}
+        for channel in range(org.channels):
+            for rank in range(org.ranks_per_channel):
+                self.ranks[(channel, rank)] = Rank(config, channel, rank)
+        # One data bus and one command bus per channel.
+        self._data_bus_free: Dict[int, int] = {ch: 0 for ch in range(org.channels)}
+        self._command_bus_free: Dict[int, int] = {ch: 0 for ch in range(org.channels)}
+        self.stats = DRAMStatistics()
+        self._activation_observers: List[ActivationObserver] = []
+        self._refresh_observers: List[RefreshObserver] = []
+        self._row_refresh_observers: List[RowRefreshObserver] = []
+        self.current_cycle = 0
+
+    # ------------------------------------------------------------------ #
+    # Observer registration
+    # ------------------------------------------------------------------ #
+    def add_activation_observer(self, observer: ActivationObserver) -> None:
+        """Observer called as ``observer(cycle, DRAMAddress, is_preventive)`` on each ACT."""
+        self._activation_observers.append(observer)
+
+    def add_refresh_observer(self, observer: RefreshObserver) -> None:
+        """Observer called as ``observer(cycle, (channel, rank), start_row, count)`` on each REF."""
+        self._refresh_observers.append(observer)
+
+    def add_row_refresh_observer(self, observer: RowRefreshObserver) -> None:
+        """Observer called as ``observer(cycle, DRAMAddress)`` whenever a single row is refreshed.
+
+        Fired for preventive refreshes (the ACT to a victim row refreshes that
+        row) and for DRAM-internal refreshes performed by mechanisms such as
+        REGA (which calls :meth:`notify_row_refresh` directly).
+        """
+        self._row_refresh_observers.append(observer)
+
+    def notify_row_refresh(self, cycle: int, address: DRAMAddress) -> None:
+        """Report that ``address``'s row was refreshed by an in-DRAM mechanism."""
+        for observer in self._row_refresh_observers:
+            observer(cycle, address)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def rank(self, channel: int, rank: int) -> Rank:
+        return self.ranks[(channel, rank)]
+
+    def bank(self, channel: int, rank: int, bankgroup: int, bank: int) -> Bank:
+        return self.ranks[(channel, rank)].banks[(bankgroup, bank)]
+
+    def bank_for(self, address: DRAMAddress) -> Bank:
+        return self.bank(address.channel, address.rank, address.bankgroup, address.bank)
+
+    def iter_banks(self):
+        for rank in self.ranks.values():
+            for bank in rank.banks.values():
+                yield bank
+
+    # ------------------------------------------------------------------ #
+    # Timing queries
+    # ------------------------------------------------------------------ #
+    def earliest_issue_cycle(self, command: Command, cycle: int) -> int:
+        """First cycle >= ``cycle`` at which ``command`` satisfies all constraints."""
+        rank = self.ranks[(command.channel, command.rank)]
+        earliest = max(cycle, self._command_bus_free[command.channel])
+        if command.kind is CommandKind.ACT:
+            return max(
+                earliest, rank.earliest_act(cycle, command.bankgroup, command.bank)
+            )
+        if command.kind is CommandKind.PRE:
+            return max(
+                earliest, rank.earliest_pre(cycle, command.bankgroup, command.bank)
+            )
+        if command.kind in (CommandKind.RD, CommandKind.WR):
+            is_write = command.kind is CommandKind.WR
+            earliest = max(
+                earliest,
+                rank.earliest_column(cycle, command.bankgroup, command.bank, is_write),
+            )
+            # The data burst must also find the channel data bus free.
+            timing = self.config.timing
+            data_latency = timing.tCWL if is_write else timing.tCL
+            data_start = earliest + data_latency
+            bus_free = self._data_bus_free[command.channel]
+            if data_start < bus_free:
+                earliest += bus_free - data_start
+            return earliest
+        if command.kind is CommandKind.REF:
+            return max(earliest, rank.earliest_refresh(cycle))
+        raise ValueError(f"unknown command kind {command.kind}")
+
+    def can_issue(self, command: Command, cycle: int) -> bool:
+        return self.earliest_issue_cycle(command, cycle) <= cycle
+
+    # ------------------------------------------------------------------ #
+    # Command application
+    # ------------------------------------------------------------------ #
+    def issue(self, command: Command, cycle: int) -> Optional[int]:
+        """Apply ``command`` at ``cycle``.
+
+        Returns the data-completion cycle for RD/WR commands, the
+        rank-unblock cycle for REF, and ``None`` for ACT/PRE.  Raises
+        :class:`~repro.dram.bank.TimingViolation` when the command is early.
+        """
+        earliest = self.earliest_issue_cycle(command, cycle)
+        if earliest > cycle:
+            raise TimingViolation(
+                f"{command.describe()} issued at cycle {cycle}, "
+                f"earliest legal cycle is {earliest}"
+            )
+        self.current_cycle = max(self.current_cycle, cycle)
+        rank = self.ranks[(command.channel, command.rank)]
+        self._command_bus_free[command.channel] = cycle + 1
+        timing = self.config.timing
+
+        if command.kind is CommandKind.ACT:
+            rank.apply_act(
+                cycle, command.bankgroup, command.bank, command.row, command.is_preventive
+            )
+            self.stats.acts += 1
+            if command.is_preventive:
+                self.stats.preventive_acts += 1
+            address = DRAMAddress(
+                channel=command.channel,
+                rank=command.rank,
+                bankgroup=command.bankgroup,
+                bank=command.bank,
+                row=command.row,
+                column=0,
+            )
+            for observer in self._activation_observers:
+                observer(cycle, address, command.is_preventive)
+            if command.is_preventive:
+                # A preventive ACT refreshes the activated (victim) row itself.
+                self.notify_row_refresh(cycle, address)
+            return None
+
+        if command.kind is CommandKind.PRE:
+            rank.apply_pre(cycle, command.bankgroup, command.bank)
+            self.stats.pres += 1
+            return None
+
+        if command.kind in (CommandKind.RD, CommandKind.WR):
+            is_write = command.kind is CommandKind.WR
+            data_end = rank.apply_column(
+                cycle, command.bankgroup, command.bank,
+                self.bank_for_command(command).open_row, is_write,
+            )
+            self._data_bus_free[command.channel] = data_end
+            if is_write:
+                self.stats.writes += 1
+            else:
+                self.stats.reads += 1
+            return data_end
+
+        if command.kind is CommandKind.REF:
+            start_row, count = rank.apply_refresh(cycle)
+            self.stats.refreshes += 1
+            for observer in self._refresh_observers:
+                observer(cycle, (command.channel, command.rank), start_row, count)
+            return cycle + timing.tRFC
+
+        raise ValueError(f"unknown command kind {command.kind}")
+
+    def bank_for_command(self, command: Command) -> Bank:
+        return self.bank(command.channel, command.rank, command.bankgroup, command.bank)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics
+    # ------------------------------------------------------------------ #
+    def total_activations(self) -> int:
+        return self.stats.acts
+
+    def row_activation_counts(self) -> Dict[Tuple[int, int, int, int, int], int]:
+        """Ground-truth activation count per row (for analysis and verification)."""
+        counts: Dict[Tuple[int, int, int, int, int], int] = {}
+        for (channel, rank_id), rank in self.ranks.items():
+            for (bankgroup, bank_id), bank in rank.banks.items():
+                for row, count in bank.activation_counts.items():
+                    counts[(channel, rank_id, bankgroup, bank_id, row)] = count
+        return counts

@@ -1,0 +1,10 @@
+"""DRAM energy model (the reproduction's substitute for DRAMPower)."""
+
+from repro.energy.params import DDR4EnergyParameters
+from repro.energy.model import DRAMEnergyModel, EnergyBreakdown
+
+__all__ = [
+    "DDR4EnergyParameters",
+    "DRAMEnergyModel",
+    "EnergyBreakdown",
+]

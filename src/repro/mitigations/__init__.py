@@ -1,0 +1,44 @@
+"""RowHammer mitigation mechanisms.
+
+This subpackage implements the paper's comparison points, each behind the
+common :class:`~repro.mitigations.base.RowHammerMitigation` interface that
+the memory controller drives:
+
+* :class:`~repro.mitigations.none.NoMitigation` — the unprotected baseline.
+* :class:`~repro.mitigations.para.PARA` — probabilistic adjacent-row refresh.
+* :class:`~repro.mitigations.graphene.Graphene` — Misra-Gries tracking with
+  tagged (CAM) counters per bank.
+* :class:`~repro.mitigations.hydra.Hydra` — hybrid group counters + in-DRAM
+  per-row counters with a row-count cache, generating extra DRAM traffic.
+* :class:`~repro.mitigations.rega.REGA` — in-DRAM refresh-generating
+  activations, modelled as inflated activation timings.
+* :class:`~repro.mitigations.blockhammer.BlockHammer` — counting-Bloom-filter
+  blacklisting with activation throttling.
+
+CoMeT itself lives in :mod:`repro.core` (it is the paper's contribution) but
+implements the same interface.
+"""
+
+from repro.mitigations.base import RowHammerMitigation, MitigationStatistics
+from repro.mitigations.none import NoMitigation
+from repro.mitigations.para import PARA, para_refresh_probability
+from repro.mitigations.graphene import Graphene, GrapheneConfig
+from repro.mitigations.hydra import Hydra, HydraConfig
+from repro.mitigations.rega import REGA, REGAConfig
+from repro.mitigations.blockhammer import BlockHammer, BlockHammerConfig
+
+__all__ = [
+    "RowHammerMitigation",
+    "MitigationStatistics",
+    "NoMitigation",
+    "PARA",
+    "para_refresh_probability",
+    "Graphene",
+    "GrapheneConfig",
+    "Hydra",
+    "HydraConfig",
+    "REGA",
+    "REGAConfig",
+    "BlockHammer",
+    "BlockHammerConfig",
+]

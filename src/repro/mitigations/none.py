@@ -1,0 +1,24 @@
+"""The unprotected baseline (no RowHammer mitigation).
+
+Every figure in the paper normalizes to "a baseline system that does not have
+any RowHammer mitigation"; this class is that baseline.  It observes nothing
+and never issues preventive refreshes.
+"""
+
+from __future__ import annotations
+
+from repro.mitigations.base import RowHammerMitigation
+
+
+class NoMitigation(RowHammerMitigation):
+    """A mitigation that does nothing (the paper's normalization baseline)."""
+
+    name = "none"
+
+    def __init__(self, nrh: int = 10**9) -> None:
+        # The threshold is irrelevant; a huge value documents that the
+        # baseline offers no protection guarantee.
+        super().__init__(nrh=nrh)
+
+    def storage_bits_per_bank(self) -> int:
+        return 0

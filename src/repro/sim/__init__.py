@@ -1,0 +1,45 @@
+"""System assembly and experiment running.
+
+* :class:`~repro.sim.system.System` — wires cores, the memory controller,
+  the DRAM model, a RowHammer mitigation and the security verifier together
+  and runs the event-driven simulation to completion.
+* :mod:`repro.sim.metrics` — IPC, weighted speedup, geometric means and
+  normalization helpers (the metrics of Figures 10-16).
+* :mod:`repro.sim.runner` — convenience functions used by the examples and
+  the benchmark harnesses: run one workload under one mitigation, compare
+  mitigations, sweep configurations.
+"""
+
+from repro.sim.system import System, SystemConfig, SimulationResult
+from repro.sim.metrics import (
+    geometric_mean,
+    normalized_values,
+    weighted_speedup,
+    normalized_weighted_speedup,
+    summarize_distribution,
+)
+from repro.sim.runner import (
+    MITIGATION_FACTORIES,
+    build_mitigation,
+    run_single_core,
+    run_multi_core,
+    compare_single_core,
+    normalized_ipc,
+)
+
+__all__ = [
+    "System",
+    "SystemConfig",
+    "SimulationResult",
+    "geometric_mean",
+    "normalized_values",
+    "weighted_speedup",
+    "normalized_weighted_speedup",
+    "summarize_distribution",
+    "MITIGATION_FACTORIES",
+    "build_mitigation",
+    "run_single_core",
+    "run_multi_core",
+    "compare_single_core",
+    "normalized_ipc",
+]

@@ -1,0 +1,171 @@
+"""Experiment runner helpers used by the examples and benchmark harnesses.
+
+These functions encapsulate the common experimental pattern of the paper:
+run a workload on the unprotected baseline and under one or more mitigations
+at a given RowHammer threshold, then report normalized IPC / energy.
+
+Every run uses a *scaled* DRAM configuration by default
+(:func:`default_experiment_config`): the organization is shrunk and the
+refresh window shortened so several counter-reset periods elapse within a
+trace of a few tens of thousands of requests; EXPERIMENTS.md discusses the
+scaling.  Pass a full-size :class:`~repro.dram.config.DRAMConfig` to override.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.comet import CoMeT
+from repro.core.config import CoMeTConfig
+from repro.cpu.core import CoreConfig
+from repro.cpu.trace import Trace
+from repro.dram.config import DRAMConfig, small_test_config
+from repro.mitigations.base import RowHammerMitigation
+from repro.mitigations.blockhammer import BlockHammer
+from repro.mitigations.graphene import Graphene
+from repro.mitigations.hydra import Hydra
+from repro.mitigations.none import NoMitigation
+from repro.mitigations.para import PARA
+from repro.mitigations.rega import REGA
+from repro.sim.system import SimulationResult, System, SystemConfig
+
+#: Mitigation name -> factory taking the RowHammer threshold.
+MITIGATION_FACTORIES: Dict[str, Callable[[int], RowHammerMitigation]] = {
+    "none": lambda nrh: NoMitigation(),
+    "comet": lambda nrh: CoMeT(nrh),
+    "graphene": lambda nrh: Graphene(nrh),
+    "hydra": lambda nrh: Hydra(nrh),
+    "rega": lambda nrh: REGA(nrh),
+    "para": lambda nrh: PARA(nrh),
+    "blockhammer": lambda nrh: BlockHammer(nrh),
+}
+
+
+def build_mitigation(name: str, nrh: int, **overrides) -> RowHammerMitigation:
+    """Build a mitigation by name at a RowHammer threshold.
+
+    ``overrides`` are forwarded to the mechanism's constructor for the
+    sensitivity sweeps (e.g. ``config=CoMeTConfig(...)`` for Figures 6-9).
+    """
+    if name not in MITIGATION_FACTORIES:
+        raise ValueError(
+            f"unknown mitigation {name!r}; known: {sorted(MITIGATION_FACTORIES)}"
+        )
+    if overrides:
+        constructors = {
+            "none": NoMitigation,
+            "comet": CoMeT,
+            "graphene": Graphene,
+            "hydra": Hydra,
+            "rega": REGA,
+            "para": PARA,
+            "blockhammer": BlockHammer,
+        }
+        if name == "none":
+            return NoMitigation()
+        return constructors[name](nrh, **overrides)
+    return MITIGATION_FACTORIES[name](nrh)
+
+
+def default_experiment_config(
+    rows_per_bank: int = 4096,
+    refresh_window_scale: float = 1.0 / 256.0,
+) -> DRAMConfig:
+    """The scaled DRAM configuration used by examples and benches.
+
+    Two ranks with four banks each, 4K rows per bank, and a refresh window of
+    ~300K DRAM cycles.  The scale is chosen so that, for the synthetic
+    workload suite, the number of activations a hot row receives per
+    counter-reset period relative to the preventive-refresh thresholds is in
+    the same regime as the paper's full-length simulations (hot rows cross
+    NPR at NRH=125 but not at NRH=1K); see EXPERIMENTS.md.
+    """
+    config = small_test_config(
+        rows_per_bank=rows_per_bank,
+        banks_per_bankgroup=2,
+        bankgroups_per_rank=2,
+        ranks_per_channel=2,
+        refresh_window_scale=refresh_window_scale,
+    )
+    return config
+
+
+def run_single_core(
+    trace: Trace,
+    mitigation_name: str,
+    nrh: int,
+    dram_config: Optional[DRAMConfig] = None,
+    core_config: Optional[CoreConfig] = None,
+    mitigation_overrides: Optional[dict] = None,
+    verify_security: bool = True,
+) -> SimulationResult:
+    """Run one trace on a single-core system under one mitigation."""
+    dram_config = dram_config or default_experiment_config()
+    mitigation = build_mitigation(mitigation_name, nrh, **(mitigation_overrides or {}))
+    system_config = SystemConfig(
+        dram=dram_config,
+        core=core_config or CoreConfig(),
+        verify_security=verify_security,
+        nrh_for_verification=nrh,
+    )
+    system = System([trace], mitigation=mitigation, config=system_config, name=trace.name)
+    return system.run()
+
+
+def run_multi_core(
+    traces: Sequence[Trace],
+    mitigation_name: str,
+    nrh: int,
+    dram_config: Optional[DRAMConfig] = None,
+    core_config: Optional[CoreConfig] = None,
+    mitigation_overrides: Optional[dict] = None,
+    verify_security: bool = True,
+    name: Optional[str] = None,
+) -> SimulationResult:
+    """Run a multi-programmed mix (one trace per core) under one mitigation."""
+    dram_config = dram_config or default_experiment_config()
+    mitigation = build_mitigation(mitigation_name, nrh, **(mitigation_overrides or {}))
+    system_config = SystemConfig(
+        dram=dram_config,
+        core=core_config or CoreConfig(),
+        verify_security=verify_security,
+        nrh_for_verification=nrh,
+    )
+    system = System(
+        list(traces), mitigation=mitigation, config=system_config, name=name or traces[0].name
+    )
+    return system.run()
+
+
+def normalized_ipc(result: SimulationResult, baseline: SimulationResult) -> float:
+    """IPC of a mitigated run normalized to the unprotected baseline run."""
+    if baseline.ipc == 0:
+        return 0.0
+    return result.ipc / baseline.ipc
+
+
+def compare_single_core(
+    trace: Trace,
+    mitigation_names: Sequence[str],
+    nrh: int,
+    dram_config: Optional[DRAMConfig] = None,
+    verify_security: bool = True,
+) -> Dict[str, SimulationResult]:
+    """Run one trace under several mitigations plus the unprotected baseline.
+
+    Returns a mapping mitigation name -> result; the baseline is always
+    included under the key ``"none"`` so callers can normalize.
+    """
+    dram_config = dram_config or default_experiment_config()
+    names = list(dict.fromkeys(["none", *mitigation_names]))
+    results: Dict[str, SimulationResult] = {}
+    for name in names:
+        results[name] = run_single_core(
+            trace,
+            name,
+            nrh,
+            dram_config=dram_config,
+            verify_security=verify_security and name != "none",
+        )
+    return results

@@ -1,0 +1,241 @@
+"""Full-system simulation: cores + LLC + memory controller + DRAM + mitigation.
+
+The simulation is event-driven: at each step the system advances directly to
+the earliest of (a) the next cycle a core wants to inject a request and
+(b) the earliest cycle the memory controller can issue a DRAM command, so no
+time is spent iterating over idle cycles.  This is what makes a pure-Python
+reproduction of a cycle-accurate evaluation tractable (the repro-band note on
+simulation speed).
+
+A run produces a :class:`SimulationResult` carrying per-core IPC, memory
+latency statistics, DRAM command counts, the energy breakdown, the
+mitigation's statistics and the security verifier's verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.security import SecurityVerifier
+from repro.controller.controller import ControllerConfig, MemoryController
+from repro.cpu.cache import CacheConfig, LastLevelCache
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.trace import Trace
+from repro.dram.config import DRAMConfig
+from repro.energy.model import DRAMEnergyModel, EnergyBreakdown
+from repro.mitigations.base import RowHammerMitigation
+
+_INFINITY = math.inf
+
+
+@dataclass
+class SystemConfig:
+    """Everything needed to build a system."""
+
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    core: CoreConfig = field(default_factory=CoreConfig)
+    use_llc: bool = False
+    llc: Optional[CacheConfig] = None
+    verify_security: bool = True
+    #: RowHammer threshold used by the security verifier (the mitigation's own
+    #: threshold is configured on the mitigation object).
+    nrh_for_verification: Optional[int] = None
+    max_steps: int = 200_000_000
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    name: str
+    mitigation_name: str
+    cycles: int
+    per_core_ipc: List[float]
+    per_core_instructions: List[int]
+    average_read_latency: float
+    read_requests: int
+    write_requests: int
+    dram_stats: Dict[str, int]
+    energy: EnergyBreakdown
+    preventive_refreshes: int
+    early_refresh_operations: int
+    mitigation_stats: Dict[str, float]
+    security_ok: bool
+    max_disturbance: int
+    steps: int
+
+    @property
+    def ipc(self) -> float:
+        """Single-core IPC (first core), the metric of Figures 10 and 12."""
+        return self.per_core_ipc[0] if self.per_core_ipc else 0.0
+
+    @property
+    def total_energy_nj(self) -> float:
+        return self.energy.total_nj
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "mitigation": self.mitigation_name,
+            "cycles": self.cycles,
+            "ipc": round(self.ipc, 5),
+            "avg_read_latency": round(self.average_read_latency, 2),
+            "preventive_refreshes": self.preventive_refreshes,
+            "energy_nj": round(self.total_energy_nj, 1),
+            "security_ok": self.security_ok,
+        }
+
+
+class System:
+    """One simulated machine: N cores sharing a memory controller."""
+
+    def __init__(
+        self,
+        traces: Sequence[Trace],
+        mitigation: Optional[RowHammerMitigation] = None,
+        config: Optional[SystemConfig] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if not traces:
+            raise ValueError("at least one trace is required")
+        self.config = config or SystemConfig()
+        self.mitigation = mitigation
+        self.name = name or traces[0].name
+        self.controller = MemoryController(
+            self.config.dram, self.config.controller, mitigation=mitigation
+        )
+        self.verifier: Optional[SecurityVerifier] = None
+        if self.config.verify_security:
+            nrh = self.config.nrh_for_verification
+            if nrh is None and mitigation is not None:
+                nrh = mitigation.nrh
+            self.verifier = SecurityVerifier(
+                self.controller.dram, nrh=nrh or 10**9
+            )
+        self.cores: List[Core] = []
+        shared_cache = None
+        if self.config.use_llc:
+            cache_config = self.config.llc or (
+                CacheConfig.paper_multi_core() if len(traces) > 1 else CacheConfig.paper_single_core()
+            )
+            shared_cache = LastLevelCache(cache_config)
+        for core_id, trace in enumerate(traces):
+            self.cores.append(
+                Core(
+                    core_id=core_id,
+                    trace=trace,
+                    controller=self.controller,
+                    config=self.config.core,
+                    cache=shared_cache,
+                )
+            )
+        self._steps = 0
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Run to completion (all traces replayed, all queues drained)."""
+        now = 0.0
+        max_steps = self.config.max_steps
+        while self._steps < max_steps:
+            if self._all_done():
+                break
+            self._steps += 1
+            # Give blocked cores a chance to re-enqueue rejected requests.
+            for core in self.cores:
+                if core.has_blocked_request:
+                    core.retry_blocked(now)
+
+            core_cycle, next_core = self._next_core_event()
+            controller_cycle = self.controller.next_issue_cycle(int(math.ceil(now)))
+            controller_time = (
+                float(controller_cycle) if controller_cycle is not None else _INFINITY
+            )
+
+            if core_cycle is _INFINITY and controller_time is _INFINITY:
+                if self._all_done():
+                    break
+                # Cores are blocked on memory and the controller has no work:
+                # this can only happen transiently while a blocked request
+                # waits for queue space; nudge time forward by one cycle.
+                now += 1.0
+                continue
+
+            if core_cycle <= controller_time:
+                now = max(now, core_cycle)
+                next_core.step(now)
+            else:
+                issued = self.controller.issue_next(int(math.ceil(controller_time)))
+                now = max(now, float(issued if issued is not None else controller_time))
+
+        final_cycle = self.controller.drain(int(math.ceil(now)))
+        final_cycle = max(final_cycle, int(math.ceil(now)))
+        return self._build_result(final_cycle)
+
+    def _next_core_event(self):
+        best_cycle = _INFINITY
+        best_core = None
+        for core in self.cores:
+            cycle = core.next_event_cycle()
+            if cycle < best_cycle:
+                best_cycle = cycle
+                best_core = core
+        return best_cycle, best_core
+
+    def _all_done(self) -> bool:
+        return all(core.finished for core in self.cores) and not self.controller.has_work()
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+    def _build_result(self, final_cycle: int) -> SimulationResult:
+        energy_model = DRAMEnergyModel(
+            num_ranks=self.config.dram.organization.ranks_per_channel
+            * self.config.dram.organization.channels
+        )
+        energy = energy_model.energy(self.controller.dram.stats, final_cycle)
+        mitigation_name = self.mitigation.name if self.mitigation is not None else "none"
+        mitigation_stats: Dict[str, float] = {}
+        preventive = 0
+        early = 0
+        if self.mitigation is not None:
+            stats = self.mitigation.stats
+            preventive = stats.preventive_refreshes
+            early = stats.early_refresh_operations
+            mitigation_stats = {
+                "observed_activations": stats.observed_activations,
+                "preventive_refreshes": stats.preventive_refreshes,
+                "early_refresh_operations": stats.early_refresh_operations,
+                "mitigation_memory_requests": stats.mitigation_memory_requests,
+                "throttled_activations": stats.throttled_activations,
+                "counter_resets": stats.counter_resets,
+            }
+            mitigation_stats.update(stats.extra)
+        security_ok = True
+        max_disturbance = 0
+        if self.verifier is not None:
+            security_ok = not self.verifier.violations
+            max_disturbance = self.verifier.max_disturbance
+
+        return SimulationResult(
+            name=self.name,
+            mitigation_name=mitigation_name,
+            cycles=final_cycle,
+            per_core_ipc=[core.instructions_per_cycle() for core in self.cores],
+            per_core_instructions=[core.stats.retired_instructions for core in self.cores],
+            average_read_latency=self.controller.stats.average_read_latency,
+            read_requests=self.controller.stats.read_requests,
+            write_requests=self.controller.stats.write_requests,
+            dram_stats=self.controller.dram.stats.as_dict(),
+            energy=energy,
+            preventive_refreshes=preventive,
+            early_refresh_operations=early,
+            mitigation_stats=mitigation_stats,
+            security_ok=security_ok,
+            max_disturbance=max_disturbance,
+            steps=self._steps,
+        )

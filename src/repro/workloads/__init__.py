@@ -1,0 +1,47 @@
+"""Workload and attack trace generation.
+
+The paper evaluates 61 single-core and 56 8-core workloads built from SPEC
+CPU2006/2017, TPC, MediaBench and YCSB SimPoint traces.  Those traces are not
+redistributable, so this subpackage generates synthetic equivalents whose
+DRAM-level behaviour (row-buffer miss rate, bank parallelism, footprint, row
+popularity skew) is calibrated per workload to the categories and bandwidth
+figures of Table 3 — the properties the RowHammer mechanisms actually respond
+to (see DESIGN.md for the substitution rationale).
+
+* :mod:`repro.workloads.synthetic` — the parametric generator.
+* :mod:`repro.workloads.suite` — the named 61-workload suite and 8-core mixes.
+* :mod:`repro.workloads.attacks` — RowHammer attack traces: the traditional
+  many-row hammering attack of Section 8.2 and the mechanism-targeted attacks
+  (CoMeT RAT-thrashing, Hydra group-counter saturation).
+"""
+
+from repro.workloads.synthetic import SyntheticWorkloadGenerator, WorkloadSpec
+from repro.workloads.suite import (
+    WORKLOAD_SUITE,
+    workload_names,
+    workload_spec,
+    build_trace,
+    build_multicore_traces,
+    workloads_by_category,
+)
+from repro.workloads.attacks import (
+    traditional_rowhammer_attack,
+    comet_targeted_attack,
+    hydra_targeted_attack,
+    single_row_hammer,
+)
+
+__all__ = [
+    "SyntheticWorkloadGenerator",
+    "WorkloadSpec",
+    "WORKLOAD_SUITE",
+    "workload_names",
+    "workload_spec",
+    "build_trace",
+    "build_multicore_traces",
+    "workloads_by_category",
+    "traditional_rowhammer_attack",
+    "comet_targeted_attack",
+    "hydra_targeted_attack",
+    "single_row_hammer",
+]

@@ -1,0 +1,181 @@
+"""RowHammer attack trace generators (Section 8.2 of the paper).
+
+Three attacker models are reproduced:
+
+* :func:`traditional_rowhammer_attack` — the classic many-row hammering
+  attack: the attacker core issues activations as fast as the memory
+  controller allows (one ACT roughly every 20 ns in the paper's setup),
+  cycling over a set of aggressor rows in every bank so that row-buffer hits
+  never absorb the activations.
+* :func:`comet_targeted_attack` — stresses CoMeT's Recent Aggressor Table:
+  the attacker hammers more distinct rows than the RAT has entries, each just
+  past the preventive refresh threshold, forcing RAT evictions, capacity
+  misses and ultimately early preventive refresh operations.
+* :func:`hydra_targeted_attack` — stresses Hydra's filtering: the attacker
+  touches many row groups a few times each, saturating group counters and
+  forcing Hydra to spill per-row counters to DRAM, maximizing its off-chip
+  counter traffic.
+
+All generators emit ordinary :class:`~repro.cpu.trace.Trace` objects, so an
+attack can run standalone or alongside benign workloads in a multi-core mix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.cpu.trace import Trace, TraceEntry
+from repro.dram.address import AddressMapper
+from repro.dram.config import DRAMConfig
+
+
+def _mapper(dram_config: Optional[DRAMConfig]) -> AddressMapper:
+    return AddressMapper(dram_config or DRAMConfig())
+
+
+def traditional_rowhammer_attack(
+    num_requests: int = 20_000,
+    aggressor_rows_per_bank: int = 4,
+    dram_config: Optional[DRAMConfig] = None,
+    bubble: int = 0,
+    base_row: int = 64,
+    row_stride: int = 2,
+    seed: int = 0,
+) -> Trace:
+    """Round-robin hammering of ``aggressor_rows_per_bank`` rows in every bank.
+
+    Consecutive accesses always target a different row of the same bank (or
+    move to the next bank), so every access forces a row conflict and hence an
+    ACT — the attacker's goal.  ``row_stride=2`` leaves victim rows between
+    aggressors (double-sided style layout).
+    """
+    mapper = _mapper(dram_config)
+    config = mapper.config
+    banks = mapper.all_bank_indices()
+    rng = random.Random(seed)
+    rows = [base_row + i * row_stride for i in range(aggressor_rows_per_bank)]
+
+    entries: List[TraceEntry] = []
+    bank_cursor = 0
+    row_cursor = 0
+    for _ in range(num_requests):
+        bank = banks[bank_cursor % len(banks)]
+        row = rows[row_cursor % len(rows)]
+        column = rng.randrange(0, config.organization.columns_per_row, 8)
+        address = mapper.address_for_row(row, bank_index=bank, column=column)
+        entries.append(TraceEntry(bubble, address, False))
+        # Advance row first so the same bank sees alternating rows (always a
+        # conflict), then rotate banks to hammer all of them.
+        row_cursor += 1
+        if row_cursor % len(rows) == 0:
+            bank_cursor += 1
+    return Trace(entries, name="attack_traditional")
+
+
+def single_row_hammer(
+    target_row: int,
+    activations: int,
+    bank_index: int = 0,
+    dram_config: Optional[DRAMConfig] = None,
+    decoy_row: Optional[int] = None,
+    bubble: int = 0,
+) -> Trace:
+    """Hammer one aggressor row ``activations`` times (unit-test helper).
+
+    Accesses alternate between the target row and a decoy row far away in the
+    same bank so that every access to the target causes a fresh activation.
+    """
+    mapper = _mapper(dram_config)
+    rows_per_bank = mapper.config.organization.rows_per_bank
+    if decoy_row is None:
+        decoy_row = (target_row + rows_per_bank // 2) % rows_per_bank
+    entries: List[TraceEntry] = []
+    for _ in range(activations):
+        entries.append(
+            TraceEntry(bubble, mapper.address_for_row(target_row, bank_index=bank_index), False)
+        )
+        entries.append(
+            TraceEntry(bubble, mapper.address_for_row(decoy_row, bank_index=bank_index), False)
+        )
+    return Trace(entries, name=f"hammer_row_{target_row}")
+
+
+def comet_targeted_attack(
+    num_requests: int = 20_000,
+    distinct_rows: int = 128,
+    npr: int = 31,
+    dram_config: Optional[DRAMConfig] = None,
+    bank_index: int = 0,
+    bubble: int = 0,
+    base_row: int = 128,
+) -> Trace:
+    """RAT-thrashing attack against CoMeT (Section 8.2, "targeted attack").
+
+    The attacker sweeps ``distinct_rows`` rows of one bank round-robin (a
+    many-sided attack), so consecutive accesses always hit different rows and
+    the memory controller cannot coalesce them into row-buffer hits: every
+    access costs an activation.  Once each row has accumulated ``npr``
+    activations (``npr`` passes over the set), every further pass creates a
+    new aggressor for a RAT that can only hold 128 of them, forcing evictions,
+    capacity misses and eventually early preventive refresh operations.
+
+    ``num_requests`` should therefore be at least ``distinct_rows * npr`` for
+    the attack to bite; the default parameters satisfy this comfortably.
+    """
+    mapper = _mapper(dram_config)
+    rows_per_bank = mapper.config.organization.rows_per_bank
+    rows = [(base_row + 2 * i) % rows_per_bank for i in range(distinct_rows)]
+    entries: List[TraceEntry] = []
+    produced = 0
+    while produced < num_requests:
+        for row in rows:
+            if produced >= num_requests:
+                break
+            address = mapper.address_for_row(row, bank_index=bank_index)
+            entries.append(TraceEntry(bubble, address, False))
+            produced += 1
+    return Trace(entries[:num_requests], name="attack_comet_targeted")
+
+
+def hydra_targeted_attack(
+    num_requests: int = 20_000,
+    groups_touched: int = 512,
+    rows_per_group: int = 128,
+    touches_per_row: int = 2,
+    dram_config: Optional[DRAMConfig] = None,
+    bubble: int = 0,
+    seed: int = 0,
+) -> Trace:
+    """Group-counter saturation attack against Hydra (Section 8.2).
+
+    The attacker sweeps many row groups, touching a few rows in each just
+    enough times for the group counters to cross Hydra's group threshold;
+    after that every further activation needs a per-row counter access,
+    flooding DRAM with Hydra's own counter traffic.
+    """
+    mapper = _mapper(dram_config)
+    config = mapper.config
+    banks = mapper.all_bank_indices()
+    rows_per_bank = config.organization.rows_per_bank
+    rng = random.Random(seed)
+
+    entries: List[TraceEntry] = []
+    produced = 0
+    group = 0
+    while produced < num_requests:
+        group_base = (group * rows_per_group) % max(1, rows_per_bank - rows_per_group)
+        bank = banks[group % len(banks)]
+        for offset in range(0, rows_per_group, max(1, rows_per_group // 8)):
+            for _ in range(touches_per_row):
+                if produced >= num_requests:
+                    break
+                row = group_base + offset
+                column = rng.randrange(0, config.organization.columns_per_row, 8)
+                address = mapper.address_for_row(row, bank_index=bank, column=column)
+                entries.append(TraceEntry(bubble, address, False))
+                produced += 1
+            if produced >= num_requests:
+                break
+        group = (group + 1) % max(1, groups_touched)
+    return Trace(entries, name="attack_hydra_targeted")

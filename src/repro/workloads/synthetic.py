@@ -1,0 +1,159 @@
+"""Parametric synthetic workload generator.
+
+A workload is described by a :class:`WorkloadSpec`:
+
+* ``rbmpki`` — row-buffer misses per kilo-instruction; together with the
+  trace length this fixes the compute "bubble" between memory accesses and is
+  the primary knob separating the low/medium/high categories of Table 3.
+* ``row_locality`` — probability that the next access stays in the currently
+  open row of its bank (streaming workloads are high, pointer-chasing low).
+* ``footprint_rows`` — number of distinct DRAM rows the workload touches per
+  bank; combined with ``zipf_alpha`` (popularity skew) this controls how many
+  rows approach the RowHammer threshold in benign workloads.
+* ``write_fraction`` — fraction of accesses that are writes.
+* ``bank_fraction`` — fraction of the available banks the workload spreads
+  over (bank-level parallelism).
+
+The generator produces a :class:`~repro.cpu.trace.Trace` of LLC-miss-level
+accesses (the same level as Ramulator DRAM traces), deterministic for a given
+seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cpu.trace import Trace, TraceEntry
+from repro.dram.address import AddressMapper
+from repro.dram.config import DRAMConfig
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic workload."""
+
+    name: str
+    rbmpki: float
+    row_locality: float = 0.5
+    footprint_rows: int = 512
+    zipf_alpha: float = 0.6
+    write_fraction: float = 0.25
+    bank_fraction: float = 1.0
+    category: str = "medium"
+
+    def __post_init__(self) -> None:
+        if self.rbmpki <= 0:
+            raise ValueError("rbmpki must be positive")
+        if not 0.0 <= self.row_locality < 1.0:
+            raise ValueError("row_locality must be in [0, 1)")
+        if self.footprint_rows <= 0:
+            raise ValueError("footprint_rows must be positive")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if not 0.0 < self.bank_fraction <= 1.0:
+            raise ValueError("bank_fraction must be in (0, 1]")
+
+    @property
+    def average_bubble(self) -> float:
+        """Average non-memory instructions between accesses implied by RBMPKI."""
+        return max(0.0, 1000.0 / self.rbmpki - 1.0)
+
+
+class SyntheticWorkloadGenerator:
+    """Generates reproducible synthetic traces from a :class:`WorkloadSpec`."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        dram_config: Optional[DRAMConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.dram_config = dram_config or DRAMConfig()
+        self.mapper = AddressMapper(self.dram_config)
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # Row popularity model
+    # ------------------------------------------------------------------ #
+    def _zipf_weights(self, count: int) -> List[float]:
+        alpha = self.spec.zipf_alpha
+        weights = [1.0 / math.pow(rank + 1, alpha) for rank in range(count)]
+        total = sum(weights)
+        return [w / total for w in weights]
+
+    # ------------------------------------------------------------------ #
+    # Trace generation
+    # ------------------------------------------------------------------ #
+    def generate(self, num_requests: int) -> Trace:
+        """Generate a trace with ``num_requests`` memory accesses."""
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        spec = self.spec
+        rng = random.Random((hash(spec.name) & 0xFFFF_FFFF) ^ (self.seed * 0x9E3779B1))
+        org = self.dram_config.organization
+
+        all_banks = self.mapper.all_bank_indices()
+        num_banks = max(1, int(round(len(all_banks) * spec.bank_fraction)))
+        banks = all_banks[:num_banks]
+
+        footprint = min(spec.footprint_rows, org.rows_per_bank)
+        # Spread each bank's footprint over a distinct region so different
+        # workloads in a multi-programmed mix do not trivially share rows.
+        base_row = rng.randrange(0, max(1, org.rows_per_bank - footprint))
+        rows = list(range(base_row, base_row + footprint))
+        weights = self._zipf_weights(footprint)
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight
+            cumulative.append(running)
+
+        entries: List[TraceEntry] = []
+        current_bank = rng.choice(banks)
+        current_row = rows[0]
+        current_column = 0
+        average_bubble = spec.average_bubble
+
+        for _ in range(num_requests):
+            if rng.random() < spec.row_locality:
+                # Row-buffer-friendly access: next cache line of the open row.
+                current_column = (current_column + org.columns_per_cacheline) % (
+                    org.columns_per_row
+                )
+            else:
+                current_bank = rng.choice(banks)
+                current_row = rows[self._pick_row_index(rng, cumulative)]
+                current_column = rng.randrange(
+                    0, org.columns_per_row, org.columns_per_cacheline
+                )
+            address = self.mapper.address_for_row(
+                current_row, bank_index=current_bank, column=current_column
+            )
+            is_write = rng.random() < spec.write_fraction
+            bubble = self._sample_bubble(rng, average_bubble)
+            entries.append(TraceEntry(bubble, address, is_write))
+        return Trace(entries, name=spec.name)
+
+    @staticmethod
+    def _pick_row_index(rng: random.Random, cumulative: List[float]) -> int:
+        value = rng.random()
+        low, high = 0, len(cumulative) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if cumulative[mid] < value:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    @staticmethod
+    def _sample_bubble(rng: random.Random, average: float) -> int:
+        if average <= 0:
+            return 0
+        # Geometric-ish jitter around the mean keeps arrivals irregular
+        # without heavy tails that would dominate short traces.
+        return max(0, int(rng.expovariate(1.0 / average))) if average > 0 else 0

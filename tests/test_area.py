@@ -1,0 +1,105 @@
+"""Tests for the storage/area model (Tables 1 and 4)."""
+
+import pytest
+
+from repro.area.model import (
+    AreaModel,
+    area_comparison_table,
+    comet_area_report,
+    graphene_area_report,
+    graphene_storage_table,
+    hydra_area_report,
+)
+
+
+class TestCoMeTArea:
+    def test_storage_matches_table4(self):
+        """CoMeT total storage: 76.5 KiB at NRH=1K down to 51 KiB at NRH=125."""
+        expected = {1000: 76.5, 500: 68.0, 250: 59.5, 125: 51.0}
+        for nrh, kib in expected.items():
+            report = comet_area_report(nrh)
+            assert report.storage_kib == pytest.approx(kib, rel=0.01)
+
+    def test_breakdown_matches_table4(self):
+        report = comet_area_report(1000)
+        assert report.breakdown_kib["CT"] == pytest.approx(64.0)
+        assert report.breakdown_kib["RAT"] == pytest.approx(12.5)
+
+    def test_area_in_table4_range(self):
+        """Area: ~0.09 mm^2 at NRH=1K, ~0.07 mm^2 at NRH=125."""
+        assert comet_area_report(1000).area_mm2 == pytest.approx(0.09, abs=0.02)
+        assert comet_area_report(125).area_mm2 == pytest.approx(0.07, abs=0.02)
+
+    def test_area_decreases_with_threshold(self):
+        assert comet_area_report(125).area_mm2 < comet_area_report(1000).area_mm2
+
+
+class TestGrapheneArea:
+    def test_storage_grows_as_threshold_drops(self):
+        """Table 1's trend: storage roughly inversely proportional to NRH."""
+        storage = {nrh: graphene_area_report(nrh).storage_kib for nrh in (1000, 500, 250, 125)}
+        assert storage[500] > 1.5 * storage[1000]
+        assert storage[250] > 1.5 * storage[500]
+        assert storage[125] > 1.5 * storage[250]
+
+    def test_storage_order_of_magnitude_matches_table1(self):
+        """~200 KiB at NRH=1K growing to >1 MiB at NRH=125 (within 2x of paper)."""
+        at_1k = graphene_area_report(1000).storage_kib
+        at_125 = graphene_area_report(125).storage_kib
+        assert 100 < at_1k < 450
+        assert 1000 < at_125 < 3000
+
+    def test_table1_rows(self):
+        rows = graphene_storage_table()
+        assert [row["nrh"] for row in rows] == [1000, 500, 250, 125]
+        assert all(row["storage_KiB"] > 0 for row in rows)
+
+
+class TestHydraArea:
+    def test_sram_storage_small_and_flat(self):
+        at_1k = hydra_area_report(1000)
+        at_125 = hydra_area_report(125)
+        assert at_1k.storage_kib < 100
+        # Hydra's SRAM need barely changes with the threshold.
+        assert abs(at_1k.storage_kib - at_125.storage_kib) < 20
+
+    def test_in_dram_counters_reported(self):
+        report = hydra_area_report(1000)
+        # ~4 MiB of in-DRAM counters (footnote 8 of the paper).
+        assert report.breakdown_kib["in_DRAM_counters"] == pytest.approx(4096, rel=0.1)
+
+
+class TestComparisons:
+    def test_comet_vs_graphene_area_ratio(self):
+        """The headline area claim: CoMeT needs several times less area than
+        Graphene at NRH=1K, and the gap widens by an order of magnitude at 125."""
+        ratio_1k = graphene_area_report(1000).area_mm2 / comet_area_report(1000).area_mm2
+        ratio_125 = graphene_area_report(125).area_mm2 / comet_area_report(125).area_mm2
+        assert ratio_1k > 3
+        assert ratio_125 > 40
+        assert ratio_125 > 5 * ratio_1k
+
+    def test_comet_vs_hydra_similar_area(self):
+        """CoMeT and Hydra have comparable processor-chip area (Section 7.3.1)."""
+        for nrh in (1000, 125):
+            comet = comet_area_report(nrh).area_mm2
+            hydra = hydra_area_report(nrh).area_mm2
+            assert 0.4 < comet / hydra < 2.5
+
+    def test_comparison_table_has_all_mechanisms(self):
+        reports = area_comparison_table([1000, 125])
+        mechanisms = {(r.mechanism, r.nrh) for r in reports}
+        assert ("CoMeT", 1000) in mechanisms
+        assert ("Graphene", 125) in mechanisms
+        assert ("Hydra", 125) in mechanisms
+        assert len(reports) == 6
+
+
+class TestAreaModel:
+    def test_cam_denser_than_sram(self):
+        model = AreaModel()
+        assert model.cam_area(10) > model.sram_area(10)
+
+    def test_report_row_format(self):
+        row = comet_area_report(1000).as_row()
+        assert set(row) == {"mechanism", "nrh", "storage_KiB", "area_mm2"}

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.mitigation == "comet"
+        assert args.nrh == 125
+        assert args.workload == "429.mcf"
+
+    def test_unknown_mitigation_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mitigation", "trr"])
+
+
+class TestCommands:
+    def test_workloads_lists_suite(self, capsys):
+        assert main(["workloads"]) == 0
+        output = capsys.readouterr().out
+        assert "429.mcf" in output
+        assert "519.lbm" in output
+        assert "category" in output
+
+    def test_area_prints_all_mechanisms(self, capsys):
+        assert main(["area", "--nrh", "125"]) == 0
+        output = capsys.readouterr().out
+        assert "CoMeT" in output and "Graphene" in output and "Hydra" in output
+
+    def test_run_small_experiment(self, capsys):
+        exit_code = main(
+            ["run", "--workload", "502.gcc", "--nrh", "1000", "--requests", "400"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "normalized_IPC" in output
+        assert "502.gcc" in output
+
+    def test_attack_reports_security(self, capsys):
+        exit_code = main(["attack", "--mitigation", "comet", "--nrh", "125", "--requests", "1500"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "max_disturbance" in output
+        assert "yes" in output  # secure
+
+    def test_compare_lists_all_mitigations(self, capsys):
+        exit_code = main(
+            ["compare", "--workload", "502.gcc", "--nrh", "1000", "--requests", "300"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for name in ("comet", "graphene", "hydra", "para", "rega", "blockhammer"):
+            assert name in output

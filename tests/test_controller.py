@@ -1,0 +1,235 @@
+"""Tests for the FR-FCFS memory controller."""
+
+import pytest
+
+from repro.controller.controller import ControllerConfig, MemoryController
+from repro.controller.request import MemoryRequest, RequestType
+from repro.dram.commands import CommandKind
+from repro.mitigations.none import NoMitigation
+
+
+def make_controller(dram_config, **kwargs):
+    return MemoryController(dram_config, **kwargs)
+
+
+def read_request(controller, row, bank_index=0, column=0, cycle=0, core_id=0):
+    address = controller.mapper.decode(
+        controller.mapper.address_for_row(row, bank_index=bank_index, column=column)
+    )
+    return MemoryRequest(
+        request_type=RequestType.READ,
+        address=address,
+        core_id=core_id,
+        arrival_cycle=cycle,
+    )
+
+
+def write_request(controller, row, bank_index=0, column=0, cycle=0):
+    address = controller.mapper.decode(
+        controller.mapper.address_for_row(row, bank_index=bank_index, column=column)
+    )
+    return MemoryRequest(request_type=RequestType.WRITE, address=address, arrival_cycle=cycle)
+
+
+def run_until_idle(controller, start=0, limit=50_000):
+    cycle = start
+    for _ in range(limit):
+        if not controller.has_work():
+            break
+        issued = controller.issue_next(cycle)
+        if issued is None:
+            break
+        cycle = issued
+    return cycle
+
+
+class TestEnqueue:
+    def test_enqueue_read(self, tiny_dram_config):
+        controller = make_controller(tiny_dram_config)
+        assert controller.enqueue(read_request(controller, 5), 0)
+        assert controller.pending_requests() == 1
+        assert controller.stats.read_requests == 1
+
+    def test_read_queue_capacity(self, tiny_dram_config):
+        controller = make_controller(tiny_dram_config, config=ControllerConfig(read_queue_size=2))
+        assert controller.enqueue(read_request(controller, 1), 0)
+        assert controller.enqueue(read_request(controller, 2), 0)
+        assert not controller.enqueue(read_request(controller, 3), 0)
+
+    def test_write_queue_capacity(self, tiny_dram_config):
+        controller = make_controller(tiny_dram_config, config=ControllerConfig(write_queue_size=1))
+        assert controller.enqueue(write_request(controller, 1), 0)
+        assert not controller.enqueue(write_request(controller, 2), 0)
+
+    def test_mitigation_traffic_counted_separately(self, tiny_dram_config):
+        controller = make_controller(tiny_dram_config)
+        address = controller.mapper.decode(controller.mapper.address_for_row(3))
+        controller.enqueue_mitigation_request(address, is_write=False, cycle=0)
+        assert controller.stats.mitigation_requests == 1
+        assert controller.stats.read_requests == 0
+
+
+class TestReadService:
+    def test_single_read_completes_with_act_plus_cas_latency(self, tiny_dram_config):
+        controller = make_controller(tiny_dram_config)
+        timing = tiny_dram_config.timing
+        completed = []
+        request = read_request(controller, 7)
+        request.on_complete = lambda req, cycle: completed.append(cycle)
+        controller.enqueue(request, 0)
+        run_until_idle(controller)
+        assert completed
+        assert completed[0] == timing.tRCD + timing.tCL + timing.tBURST
+        assert controller.stats.completed_reads == 1
+
+    def test_row_hit_served_before_older_conflict(self, tiny_dram_config):
+        """FR-FCFS: a younger row hit is served before an older row conflict."""
+        controller = make_controller(tiny_dram_config)
+        order = []
+        first = read_request(controller, 1, cycle=0)
+        first.on_complete = lambda req, cycle: order.append(("miss_row1", cycle))
+        controller.enqueue(first, 0)
+        run_until_idle(controller)  # opens row 1
+
+        conflict = read_request(controller, 2, cycle=100)
+        conflict.on_complete = lambda req, cycle: order.append(("conflict_row2", cycle))
+        hit = read_request(controller, 1, column=8, cycle=101)
+        hit.on_complete = lambda req, cycle: order.append(("hit_row1", cycle))
+        controller.enqueue(conflict, 100)
+        controller.enqueue(hit, 101)
+        run_until_idle(controller, start=101)
+        names = [name for name, _ in order]
+        assert names.index("hit_row1") < names.index("conflict_row2")
+
+    def test_column_cap_prevents_starvation(self, tiny_dram_config):
+        """A stream of younger row hits must not starve an older row conflict."""
+        config = ControllerConfig(column_cap=4)
+        controller = make_controller(tiny_dram_config, config=config)
+        completions = {}
+        # Open row 1 with an initial request.
+        opener = read_request(controller, 1)
+        controller.enqueue(opener, 0)
+        run_until_idle(controller)
+
+        # An older conflicting request followed by a burst of younger row hits.
+        conflict = read_request(controller, 2, cycle=100)
+        conflict.on_complete = lambda req, cycle: completions.setdefault("conflict", cycle)
+        controller.enqueue(conflict, 100)
+        for index in range(12):
+            request = read_request(controller, 1, column=(index + 1) * 8)
+            request.on_complete = lambda req, cycle, i=index: completions.setdefault(f"hit{i}", cycle)
+            controller.enqueue(request, 101 + index)
+        run_until_idle(controller, start=101)
+        assert "conflict" in completions
+        # Without the cap all 12 hits would be served first; with a cap of 4
+        # the conflict must finish before the later hits.
+        assert completions["conflict"] < completions["hit11"]
+
+    def test_bank_parallelism(self, tiny_dram_config):
+        """Requests to different banks overlap: total time far below serial time."""
+        controller = make_controller(tiny_dram_config)
+        timing = tiny_dram_config.timing
+        completions = []
+        num_banks = 4
+        for bank in range(num_banks):
+            request = read_request(controller, 10, bank_index=bank)
+            request.on_complete = lambda req, cycle: completions.append(cycle)
+            controller.enqueue(request, 0)
+        run_until_idle(controller)
+        assert len(completions) == num_banks
+        serial_time = num_banks * (timing.tRCD + timing.tCL + timing.tBURST)
+        assert max(completions) < serial_time
+
+
+class TestWrites:
+    def test_writes_drain_when_read_queue_empty(self, tiny_dram_config):
+        controller = make_controller(tiny_dram_config)
+        controller.enqueue(write_request(controller, 3), 0)
+        run_until_idle(controller)
+        assert controller.dram.stats.writes == 1
+        assert not controller.write_queue
+
+    def test_write_drain_high_watermark(self, tiny_dram_config):
+        config = ControllerConfig(write_drain_high=4, write_drain_low=1)
+        controller = make_controller(tiny_dram_config, config=config)
+        for i in range(6):
+            controller.enqueue(write_request(controller, i, column=8 * i), 0)
+        run_until_idle(controller)
+        assert controller.dram.stats.writes == 6
+
+
+class TestRefresh:
+    def test_periodic_refresh_issued(self, tiny_dram_config):
+        controller = make_controller(tiny_dram_config)
+        # Enqueue a trickle of reads spanning more than one tREFI.
+        span = tiny_dram_config.tREFI * 3
+        request = read_request(controller, 1)
+        controller.enqueue(request, 0)
+        cycle = run_until_idle(controller)
+        # Jump past several refresh intervals and give the controller work.
+        late = read_request(controller, 2, cycle=span)
+        controller.enqueue(late, span)
+        run_until_idle(controller, start=span)
+        assert controller.dram.stats.refreshes >= 1
+
+    def test_extra_rank_refreshes_all_issued(self, tiny_dram_config):
+        controller = make_controller(tiny_dram_config)
+        controller.schedule_rank_refresh(0, 0, 3)
+        assert controller.has_work()
+        run_until_idle(controller)
+        assert controller.dram.stats.refreshes >= 3
+        assert controller.stats.early_refresh_operations == 1
+
+
+class TestPreventiveRefresh:
+    def test_preventive_refresh_activates_and_closes_victim(self, tiny_dram_config):
+        controller = make_controller(tiny_dram_config)
+        victim = controller.mapper.decode(controller.mapper.address_for_row(8))
+        controller.schedule_preventive_refresh(victim, 0)
+        assert controller.stats.preventive_refreshes == 1
+        run_until_idle(controller)
+        assert controller.dram.stats.preventive_acts == 1
+        bank = controller.dram.bank_for(victim)
+        assert bank.activation_count(8) == 1
+        assert not controller.preventive_queue
+
+    def test_preventive_refresh_prioritized_over_reads(self, tiny_dram_config):
+        controller = make_controller(tiny_dram_config)
+        # A read and a preventive refresh to the same (closed) bank: the
+        # preventive refresh's ACT must win the first activation.
+        request = read_request(controller, 1)
+        controller.enqueue(request, 0)
+        victim = controller.mapper.decode(controller.mapper.address_for_row(50))
+        controller.schedule_preventive_refresh(victim, 0)
+        controller.issue_next(0)
+        bank = controller.dram.bank_for(victim)
+        assert bank.open_row == 50
+
+    def test_preventive_refresh_to_open_bank_precharges_first(self, tiny_dram_config):
+        controller = make_controller(tiny_dram_config)
+        request = read_request(controller, 1)
+        controller.enqueue(request, 0)
+        run_until_idle(controller)  # leaves row 1 open
+        victim = controller.mapper.decode(controller.mapper.address_for_row(60))
+        controller.schedule_preventive_refresh(victim, 200)
+        run_until_idle(controller, start=200)
+        bank = controller.dram.bank_for(victim)
+        assert bank.activation_count(60) == 1
+
+
+class TestMitigationWiring:
+    def test_mitigation_observes_activations(self, tiny_dram_config):
+        mitigation = NoMitigation()
+        observed = []
+        mitigation.on_activation = lambda cycle, address, prev: observed.append(address.row)
+        controller = make_controller(tiny_dram_config, mitigation=mitigation)
+        controller.enqueue(read_request(controller, 4), 0)
+        run_until_idle(controller)
+        assert observed == [4]
+
+    def test_drain_returns_final_cycle(self, tiny_dram_config):
+        controller = make_controller(tiny_dram_config)
+        controller.enqueue(read_request(controller, 4), 0)
+        final = controller.drain(0)
+        assert final > 0
+        assert not controller.has_work()

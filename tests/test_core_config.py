@@ -1,0 +1,86 @@
+"""Tests for CoMeT's configuration and derived parameters."""
+
+import pytest
+
+from repro.core.config import CoMeTConfig
+
+
+class TestNPR:
+    def test_equation_one(self):
+        """NPR = NRH / (k + 1) — Equation 1 of the paper."""
+        assert CoMeTConfig(nrh=1000, reset_period_divider=3).npr == 250
+        assert CoMeTConfig(nrh=1000, reset_period_divider=1).npr == 500
+        assert CoMeTConfig(nrh=125, reset_period_divider=3).npr == 31
+
+    def test_npr_for_all_paper_thresholds(self):
+        for nrh, expected in [(1000, 250), (500, 125), (250, 62), (125, 31)]:
+            assert CoMeTConfig(nrh=nrh).npr == expected
+
+    def test_counter_width_matches_paper(self):
+        """Counter widths: 8 bits at NRH=1K down to 5 bits at NRH=125 (Table 4)."""
+        assert CoMeTConfig(nrh=1000).counter_width_bits == 8
+        assert CoMeTConfig(nrh=500).counter_width_bits == 7
+        assert CoMeTConfig(nrh=250).counter_width_bits == 6
+        assert CoMeTConfig(nrh=125).counter_width_bits == 5
+
+    def test_invalid_nrh(self):
+        with pytest.raises(ValueError):
+            CoMeTConfig(nrh=0)
+
+    def test_too_large_divider_rejected(self):
+        with pytest.raises(ValueError):
+            CoMeTConfig(nrh=3, reset_period_divider=5)
+
+
+class TestStorage:
+    def test_default_geometry(self):
+        config = CoMeTConfig(nrh=1000)
+        assert config.num_hashes == 4
+        assert config.counters_per_hash == 512
+        assert config.total_ct_counters == 2048
+        assert config.rat_entries == 128
+
+    def test_ct_storage_matches_table4(self):
+        """CT storage: 64 KiB at NRH=1K ... 40 KiB at NRH=125 for 32 banks."""
+        expected = {1000: 64.0, 500: 56.0, 250: 48.0, 125: 40.0}
+        for nrh, kib in expected.items():
+            config = CoMeTConfig(nrh=nrh)
+            assert config.ct_storage_bits_per_bank * 32 / 8 / 1024 == pytest.approx(kib)
+
+    def test_rat_storage_matches_table4(self):
+        """RAT storage: 12.5 KiB at NRH=1K ... 11 KiB at NRH=125 for 32 banks."""
+        expected = {1000: 12.5, 500: 12.0, 250: 11.5, 125: 11.0}
+        for nrh, kib in expected.items():
+            config = CoMeTConfig(nrh=nrh)
+            assert config.rat_storage_bits_per_bank * 32 / 8 / 1024 == pytest.approx(kib)
+
+    def test_total_storage_includes_history(self):
+        config = CoMeTConfig(nrh=1000)
+        assert config.storage_bits_per_bank == (
+            config.ct_storage_bits_per_bank
+            + config.rat_storage_bits_per_bank
+            + config.rat_miss_history_length
+        )
+
+
+class TestOtherParameters:
+    def test_reset_period(self):
+        config = CoMeTConfig(nrh=1000, reset_period_divider=3)
+        assert config.reset_period_cycles(3_000_000) == 1_000_000
+
+    def test_early_refresh_threshold(self):
+        config = CoMeTConfig(nrh=1000)
+        # 25% of a 256-entry history vector (Section 7.1.3).
+        assert config.early_refresh_threshold == 64
+
+    def test_early_refresh_threshold_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            CoMeTConfig(nrh=1000, early_refresh_threshold_fraction=1.5)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CoMeTConfig(nrh=1000, num_hashes=0)
+        with pytest.raises(ValueError):
+            CoMeTConfig(nrh=1000, rat_entries=0)
+        with pytest.raises(ValueError):
+            CoMeTConfig(nrh=1000, reset_period_divider=0)

@@ -1,0 +1,116 @@
+"""Tests for physical address <-> DRAM coordinate mapping."""
+
+import pytest
+
+from repro.dram.address import AddressMapper, DRAMAddress
+from repro.dram.config import DRAMConfig, small_test_config
+
+
+@pytest.fixture
+def full_mapper():
+    return AddressMapper(DRAMConfig())
+
+
+class TestDecodeEncode:
+    def test_roundtrip_sequential_addresses(self, mapper):
+        line = mapper.config.organization.cacheline_bytes
+        for address in range(0, 200 * line, line):
+            decoded = mapper.decode(address)
+            assert mapper.encode(decoded) == address
+
+    def test_roundtrip_full_config(self, full_mapper):
+        line = 64
+        for address in range(0, 512 * line, 7 * line):
+            decoded = full_mapper.decode(address)
+            assert full_mapper.encode(decoded) == address
+
+    def test_decode_fields_in_range(self, mapper):
+        org = mapper.config.organization
+        for address in range(0, 100_000, 4096 + 64):
+            decoded = mapper.decode(address)
+            assert 0 <= decoded.channel < org.channels
+            assert 0 <= decoded.rank < org.ranks_per_channel
+            assert 0 <= decoded.bankgroup < org.bankgroups_per_rank
+            assert 0 <= decoded.bank < org.banks_per_bankgroup
+            assert 0 <= decoded.row < org.rows_per_bank
+            assert 0 <= decoded.column < org.columns_per_row
+
+    def test_negative_address_rejected(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.decode(-1)
+
+    def test_consecutive_cachelines_spread_across_banks(self, full_mapper):
+        """The mapping should interleave consecutive lines over banks (parallelism)."""
+        line = 64
+        banks = {full_mapper.decode(i * line).bank_key for i in range(16)}
+        assert len(banks) > 4
+
+    def test_same_row_lines_share_row(self, mapper):
+        """Addresses differing only in column bits must decode to the same row."""
+        base = mapper.address_for_row(10, bank_index=1, column=0)
+        other = mapper.address_for_row(10, bank_index=1, column=8)
+        a, b = mapper.decode(base), mapper.decode(other)
+        assert a.row == b.row
+        assert a.bank_key == b.bank_key
+        assert a.column != b.column
+
+
+class TestAddressForRow:
+    def test_targets_requested_row_and_bank(self, mapper):
+        org = mapper.config.organization
+        for bank_index in mapper.all_bank_indices():
+            address = mapper.address_for_row(42, bank_index=bank_index)
+            decoded = mapper.decode(address)
+            assert decoded.row == 42
+            flat = (
+                decoded.rank * org.banks_per_rank
+                + decoded.bankgroup * org.banks_per_bankgroup
+                + decoded.bank
+            )
+            assert flat == bank_index
+
+    def test_row_wraps_around(self, mapper):
+        rows = mapper.config.organization.rows_per_bank
+        address = mapper.address_for_row(rows + 5, bank_index=0)
+        assert mapper.decode(address).row == 5
+
+    def test_all_bank_indices_count(self, mapper):
+        org = mapper.config.organization
+        assert len(mapper.all_bank_indices()) == org.ranks_per_channel * org.banks_per_rank
+
+    def test_iter_rows(self, mapper):
+        addresses = list(mapper.iter_rows(bank_index=0, start=10, count=5))
+        rows = [mapper.decode(a).row for a in addresses]
+        assert rows == [10, 11, 12, 13, 14]
+
+
+class TestNeighbors:
+    def test_middle_row_has_two_victims(self, mapper):
+        address = mapper.decode(mapper.address_for_row(100, bank_index=0))
+        victims = mapper.neighbors(address)
+        assert {v.row for v in victims} == {99, 101}
+        assert all(v.bank_key == address.bank_key for v in victims)
+
+    def test_edge_rows_have_one_victim(self, mapper):
+        rows = mapper.config.organization.rows_per_bank
+        first = mapper.decode(mapper.address_for_row(0, bank_index=0))
+        last = mapper.decode(mapper.address_for_row(rows - 1, bank_index=0))
+        assert {v.row for v in mapper.neighbors(first)} == {1}
+        assert {v.row for v in mapper.neighbors(last)} == {rows - 2}
+
+    def test_blast_radius_two(self, mapper):
+        address = mapper.decode(mapper.address_for_row(100, bank_index=0))
+        victims = mapper.neighbors(address, blast_radius=2)
+        assert {v.row for v in victims} == {98, 99, 101, 102}
+
+
+class TestDRAMAddress:
+    def test_bank_key_and_row_key(self):
+        address = DRAMAddress(channel=0, rank=1, bankgroup=2, bank=3, row=7, column=0)
+        assert address.bank_key == (0, 1, 2, 3)
+        assert address.row_key == (0, 1, 2, 3, 7)
+
+    def test_ordering(self):
+        a = DRAMAddress(0, 0, 0, 0, 5, 0)
+        b = DRAMAddress(0, 0, 0, 0, 6, 0)
+        assert a < b

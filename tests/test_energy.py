@@ -1,0 +1,107 @@
+"""Tests for the DRAM energy model."""
+
+import pytest
+
+from repro.dram.dram_system import DRAMStatistics
+from repro.energy.model import DRAMEnergyModel
+from repro.energy.params import DDR4EnergyParameters
+
+
+def stats(acts=0, reads=0, writes=0, refreshes=0, preventive_acts=0):
+    return DRAMStatistics(
+        acts=acts,
+        pres=acts,
+        reads=reads,
+        writes=writes,
+        refreshes=refreshes,
+        preventive_acts=preventive_acts,
+    )
+
+
+class TestParameters:
+    def test_background_energy_scales_with_time(self):
+        params = DDR4EnergyParameters()
+        assert params.background_energy_nj(2000) == pytest.approx(
+            2 * params.background_energy_nj(1000)
+        )
+
+    def test_background_energy_value(self):
+        params = DDR4EnergyParameters(background_power_mw=100.0, tck_ns=1.0)
+        # 100 mW for 1e6 ns = 1e-4 J = 1e5 nJ.
+        assert params.background_energy_nj(1_000_000) == pytest.approx(1e5)
+
+
+class TestEnergyModel:
+    def test_per_command_accounting(self):
+        model = DRAMEnergyModel(num_ranks=1)
+        params = model.parameters
+        breakdown = model.energy(stats(acts=10, reads=5, writes=3, refreshes=2), total_cycles=0)
+        assert breakdown.activation_nj == pytest.approx(10 * params.act_pre_energy_nj)
+        assert breakdown.read_nj == pytest.approx(5 * params.read_energy_nj)
+        assert breakdown.write_nj == pytest.approx(3 * params.write_energy_nj)
+        assert breakdown.refresh_nj == pytest.approx(2 * params.refresh_energy_nj)
+
+    def test_background_scales_with_rank_count(self):
+        single = DRAMEnergyModel(num_ranks=1).energy(stats(), 10_000)
+        dual = DRAMEnergyModel(num_ranks=2).energy(stats(), 10_000)
+        assert dual.background_nj == pytest.approx(2 * single.background_nj)
+
+    def test_preventive_energy_attributed(self):
+        model = DRAMEnergyModel(num_ranks=1)
+        breakdown = model.energy(stats(acts=10, preventive_acts=4), 0)
+        assert breakdown.preventive_nj == pytest.approx(4 * model.parameters.act_pre_energy_nj)
+        # Preventive energy is a subset of activation energy, not extra.
+        assert breakdown.preventive_nj < breakdown.activation_nj
+
+    def test_total_is_sum_of_components(self):
+        model = DRAMEnergyModel(num_ranks=2)
+        breakdown = model.energy(stats(acts=100, reads=50, writes=20, refreshes=5), 100_000)
+        assert breakdown.total_nj == pytest.approx(
+            breakdown.activation_nj
+            + breakdown.read_nj
+            + breakdown.write_nj
+            + breakdown.refresh_nj
+            + breakdown.background_nj
+        )
+
+    def test_normalized_energy(self):
+        model = DRAMEnergyModel(num_ranks=1)
+        base = stats(acts=100, reads=100)
+        more = stats(acts=150, reads=100)
+        normalized = model.normalized_energy(more, 10_000, base, 10_000)
+        assert normalized > 1.0
+
+    def test_normalized_energy_identity(self):
+        model = DRAMEnergyModel(num_ranks=1)
+        base = stats(acts=100, reads=100)
+        assert model.normalized_energy(base, 10_000, base, 10_000) == pytest.approx(1.0)
+
+    def test_more_preventive_refreshes_increase_energy(self):
+        """The mechanism-level effect behind Figures 11/14: extra ACTs cost energy."""
+        model = DRAMEnergyModel(num_ranks=2)
+        baseline = model.energy(stats(acts=1000, reads=800, writes=200), 1_000_000)
+        protected = model.energy(stats(acts=1200, reads=800, writes=200, preventive_acts=200), 1_000_000)
+        assert protected.total_nj > baseline.total_nj
+
+    def test_longer_runtime_increases_energy(self):
+        model = DRAMEnergyModel(num_ranks=2)
+        short = model.energy(stats(acts=100), 100_000)
+        long = model.energy(stats(acts=100), 200_000)
+        assert long.total_nj > short.total_nj
+
+    def test_as_dict(self):
+        model = DRAMEnergyModel(num_ranks=1)
+        d = model.energy(stats(acts=1), 100).as_dict()
+        assert set(d) == {
+            "activation_nj",
+            "read_nj",
+            "write_nj",
+            "refresh_nj",
+            "background_nj",
+            "preventive_nj",
+            "total_nj",
+        }
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError):
+            DRAMEnergyModel(num_ranks=0)

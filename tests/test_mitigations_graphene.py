@@ -1,0 +1,102 @@
+"""Tests for the Graphene (Misra-Gries) mitigation."""
+
+import pytest
+
+from repro.mitigations.graphene import Graphene, GrapheneConfig
+from tests.conftest import make_address
+
+
+def make_graphene(fake_controller, nrh=1000, **config_overrides):
+    config = GrapheneConfig(nrh=nrh, **config_overrides)
+    graphene = Graphene(nrh=nrh, config=config)
+    graphene.attach(fake_controller)
+    return graphene
+
+
+class TestGrapheneConfig:
+    def test_threshold_is_quarter_of_nrh(self):
+        assert GrapheneConfig(nrh=1000).threshold == 250
+        assert GrapheneConfig(nrh=125).threshold == 31
+
+    def test_table_entries_grow_at_low_thresholds(self):
+        config_1k = GrapheneConfig(nrh=1000)
+        config_125 = GrapheneConfig(nrh=125)
+        window = 1_000_000
+        assert config_125.table_entries(window) > 5 * config_1k.table_entries(window)
+
+    def test_storage_bits_proportional_to_entries(self):
+        config = GrapheneConfig(nrh=1000)
+        window = 500_000
+        entries = config.table_entries(window)
+        assert config.storage_bits_per_bank(window) == entries * 29 + 12
+
+
+class TestGrapheneBehaviour:
+    def test_refresh_triggered_at_threshold(self, fake_controller, tiny_dram_config):
+        graphene = make_graphene(fake_controller, nrh=1000)
+        address = make_address(tiny_dram_config, row=20)
+        threshold = graphene.config.threshold
+        for cycle in range(threshold):
+            graphene.on_activation(cycle, address, is_preventive=False)
+        victims = {a.row for a, _ in fake_controller.preventive_refreshes}
+        assert victims == {19, 21}
+
+    def test_no_refresh_below_threshold(self, fake_controller, tiny_dram_config):
+        graphene = make_graphene(fake_controller, nrh=1000)
+        address = make_address(tiny_dram_config, row=20)
+        for cycle in range(graphene.config.threshold - 1):
+            graphene.on_activation(cycle, address, is_preventive=False)
+        assert fake_controller.preventive_refreshes == []
+
+    def test_refresh_repeats_at_multiples_of_threshold(self, fake_controller, tiny_dram_config):
+        graphene = make_graphene(fake_controller, nrh=1000)
+        address = make_address(tiny_dram_config, row=20)
+        threshold = graphene.config.threshold
+        for cycle in range(threshold * 3):
+            graphene.on_activation(cycle, address, is_preventive=False)
+        # Three crossings -> three refresh pairs.
+        assert len(fake_controller.preventive_refreshes) == 6
+
+    def test_tables_are_per_bank(self, fake_controller, tiny_dram_config):
+        graphene = make_graphene(fake_controller, nrh=1000)
+        threshold = graphene.config.threshold
+        bank0 = make_address(tiny_dram_config, row=20, bank=0)
+        bank1 = make_address(tiny_dram_config, row=20, bank=1)
+        for cycle in range(threshold - 1):
+            graphene.on_activation(cycle, bank0, is_preventive=False)
+        graphene.on_activation(threshold, bank1, is_preventive=False)
+        assert fake_controller.preventive_refreshes == []
+
+    def test_periodic_reset_clears_tables(self, fake_controller, tiny_dram_config):
+        graphene = make_graphene(fake_controller, nrh=1000)
+        address = make_address(tiny_dram_config, row=20)
+        threshold = graphene.config.threshold
+        for cycle in range(threshold - 1):
+            graphene.on_activation(cycle, address, is_preventive=False)
+        # Jump past the Graphene reset period: the accumulated count is gone.
+        reset_period = tiny_dram_config.tREFW // graphene.config.reset_divider
+        graphene.on_activation(reset_period + 1, address, is_preventive=False)
+        assert fake_controller.preventive_refreshes == []
+        assert graphene.stats.counter_resets >= 1
+
+    def test_storage_report_uses_attached_config(self, fake_controller):
+        graphene = make_graphene(fake_controller, nrh=1000)
+        report = graphene.storage_report()
+        assert report["total_KiB"] > 0
+
+    def test_many_distinct_rows_never_underestimate_heavy_hitter(
+        self, fake_controller, tiny_dram_config
+    ):
+        """Even with table pressure from many light rows, a heavy hitter is caught."""
+        graphene = make_graphene(fake_controller, nrh=1000)
+        threshold = graphene.config.threshold
+        heavy = make_address(tiny_dram_config, row=100)
+        cycle = 0
+        for i in range(threshold):
+            graphene.on_activation(cycle, heavy, is_preventive=False)
+            cycle += 1
+            light = make_address(tiny_dram_config, row=(i * 3) % 250)
+            graphene.on_activation(cycle, light, is_preventive=False)
+            cycle += 1
+        victims = {a.row for a, _ in fake_controller.preventive_refreshes}
+        assert 99 in victims and 101 in victims

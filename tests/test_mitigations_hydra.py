@@ -1,0 +1,154 @@
+"""Tests for the Hydra mitigation (hybrid group / per-row tracking)."""
+
+import pytest
+
+from repro.mitigations.hydra import Hydra, HydraConfig
+from tests.conftest import make_address
+
+
+def make_hydra(fake_controller, nrh=1000, **config_overrides):
+    config = HydraConfig(nrh=nrh, **config_overrides)
+    hydra = Hydra(nrh=nrh, config=config)
+    hydra.attach(fake_controller)
+    return hydra
+
+
+class TestHydraConfig:
+    def test_thresholds(self):
+        config = HydraConfig(nrh=1000)
+        assert config.group_threshold == 250
+        assert config.row_threshold == 500
+
+    def test_low_nrh_thresholds(self):
+        config = HydraConfig(nrh=125)
+        assert config.group_threshold == 31
+        assert config.row_threshold == 62
+
+
+class TestGroupCounting:
+    def test_no_dram_traffic_below_group_threshold(self, fake_controller, tiny_dram_config):
+        hydra = make_hydra(fake_controller, nrh=1000)
+        address = make_address(tiny_dram_config, row=10)
+        for cycle in range(hydra.config.group_threshold - 1):
+            hydra.on_activation(cycle, address, is_preventive=False)
+        assert fake_controller.mitigation_requests == []
+        assert fake_controller.preventive_refreshes == []
+
+    def test_group_promotion_starts_per_row_tracking(self, fake_controller, tiny_dram_config):
+        hydra = make_hydra(fake_controller, nrh=1000)
+        address = make_address(tiny_dram_config, row=10)
+        for cycle in range(hydra.config.group_threshold + 1):
+            hydra.on_activation(cycle, address, is_preventive=False)
+        assert hydra.stats.extra.get("group_promotions", 0) == 1
+        # The first per-row access after promotion misses the RCC -> DRAM fetch.
+        assert len(fake_controller.mitigation_requests) >= 1
+
+    def test_group_counter_shared_by_rows_in_group(self, fake_controller, tiny_dram_config):
+        """Activations to different rows of one group all advance its group counter."""
+        hydra = make_hydra(fake_controller, nrh=1000, rows_per_group=16)
+        threshold = hydra.config.group_threshold
+        cycle = 0
+        for i in range(threshold):
+            address = make_address(tiny_dram_config, row=i % 16)
+            hydra.on_activation(cycle, address, is_preventive=False)
+            cycle += 1
+        assert hydra.stats.extra.get("group_promotions", 0) == 1
+
+    def test_preventive_refresh_at_row_threshold(self, fake_controller, tiny_dram_config):
+        hydra = make_hydra(fake_controller, nrh=1000)
+        address = make_address(tiny_dram_config, row=10)
+        for cycle in range(hydra.config.row_threshold + 2):
+            hydra.on_activation(cycle, address, is_preventive=False)
+        victims = {a.row for a, _ in fake_controller.preventive_refreshes}
+        assert victims == {9, 11}
+
+    def test_hydra_overestimates_rows_in_hot_groups(self, fake_controller, tiny_dram_config):
+        """A row activated once in a hot group inherits the group count (the
+        overestimation the CoMeT paper criticizes in Section 3.2)."""
+        hydra = make_hydra(fake_controller, nrh=1000, rows_per_group=16)
+        threshold = hydra.config.group_threshold
+        cycle = 0
+        # Heat the group using row 0 only.
+        address0 = make_address(tiny_dram_config, row=0)
+        for _ in range(threshold + 1):
+            hydra.on_activation(cycle, address0, is_preventive=False)
+            cycle += 1
+        # Row 5 (same group) activated once is already considered near-threshold.
+        address5 = make_address(tiny_dram_config, row=5)
+        hydra.on_activation(cycle, address5, is_preventive=False)
+        row_key = (address5.bank_key, 5)
+        assert hydra._rct[row_key] >= threshold
+
+
+class TestRCCTraffic:
+    def test_rcc_miss_generates_dram_read(self, fake_controller, tiny_dram_config):
+        hydra = make_hydra(fake_controller, nrh=1000, rcc_entries=2, rows_per_group=8)
+        threshold = hydra.config.group_threshold
+        cycle = 0
+        address = make_address(tiny_dram_config, row=0)
+        for _ in range(threshold + 1):
+            hydra.on_activation(cycle, address, is_preventive=False)
+            cycle += 1
+        baseline_requests = len(fake_controller.mitigation_requests)
+        # Touch many distinct rows of the promoted group region: the tiny RCC
+        # thrashes and every access costs a DRAM read.
+        for row in range(1, 8):
+            hydra.on_activation(cycle, make_address(tiny_dram_config, row=row), is_preventive=False)
+            cycle += 1
+        assert len(fake_controller.mitigation_requests) > baseline_requests
+        assert hydra.stats.extra.get("rcc_misses", 0) >= 6
+
+    def test_rcc_hit_avoids_dram_traffic(self, fake_controller, tiny_dram_config):
+        hydra = make_hydra(fake_controller, nrh=1000)
+        threshold = hydra.config.group_threshold
+        cycle = 0
+        address = make_address(tiny_dram_config, row=0)
+        for _ in range(threshold + 2):
+            hydra.on_activation(cycle, address, is_preventive=False)
+            cycle += 1
+        first = len(fake_controller.mitigation_requests)
+        for _ in range(10):
+            hydra.on_activation(cycle, address, is_preventive=False)
+            cycle += 1
+        assert len(fake_controller.mitigation_requests) == first
+        assert hydra.stats.extra.get("rcc_hits", 0) >= 10
+
+    def test_dirty_eviction_generates_writeback(self, fake_controller, tiny_dram_config):
+        hydra = make_hydra(fake_controller, nrh=1000, rcc_entries=1, rows_per_group=8)
+        threshold = hydra.config.group_threshold
+        cycle = 0
+        address = make_address(tiny_dram_config, row=0)
+        for _ in range(threshold + 1):
+            hydra.on_activation(cycle, address, is_preventive=False)
+            cycle += 1
+        for row in range(1, 5):
+            hydra.on_activation(cycle, make_address(tiny_dram_config, row=row), is_preventive=False)
+            cycle += 1
+        writes = [req for req in fake_controller.mitigation_requests if req[1]]
+        assert writes, "expected RCC dirty writebacks to DRAM"
+
+    def test_counter_addresses_land_in_reserved_region(self, fake_controller, tiny_dram_config):
+        hydra = make_hydra(fake_controller, nrh=1000)
+        address = make_address(tiny_dram_config, row=5)
+        counter_address = hydra._counter_dram_address(address)
+        rows = tiny_dram_config.organization.rows_per_bank
+        assert counter_address.row >= rows - 8
+        assert counter_address.bank_key == address.bank_key
+
+
+class TestReset:
+    def test_periodic_reset(self, fake_controller, tiny_dram_config):
+        hydra = make_hydra(fake_controller, nrh=1000)
+        address = make_address(tiny_dram_config, row=10)
+        for cycle in range(hydra.config.group_threshold + 5):
+            hydra.on_activation(cycle, address, is_preventive=False)
+        reset_period = tiny_dram_config.tREFW // hydra.config.reset_divider
+        hydra.on_activation(reset_period + 1, address, is_preventive=False)
+        assert hydra.stats.counter_resets >= 1
+        assert not hydra._tracked_groups
+
+    def test_storage_report(self, fake_controller):
+        hydra = make_hydra(fake_controller, nrh=1000)
+        report = hydra.storage_report()
+        assert report["sram_KiB"] > 0
+        assert report["in_dram_counters_KiB"] > 0

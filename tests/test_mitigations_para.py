@@ -1,0 +1,89 @@
+"""Tests for PARA (probabilistic adjacent-row refresh)."""
+
+import pytest
+
+from repro.mitigations.para import PARA, para_refresh_probability
+from tests.conftest import make_address
+
+
+class TestProbability:
+    def test_probability_increases_as_threshold_decreases(self):
+        p_1k = para_refresh_probability(1000)
+        p_125 = para_refresh_probability(125)
+        assert p_125 > p_1k
+
+    def test_known_values(self):
+        """Values the paper's setup implies: ~0.034 at NRH=1K, ~0.24 at NRH=125."""
+        assert para_refresh_probability(1000) == pytest.approx(0.0339, abs=0.002)
+        assert para_refresh_probability(125) == pytest.approx(0.2414, abs=0.005)
+
+    def test_guarantee(self):
+        """(1 - p)^NRH must not exceed the target failure probability."""
+        for nrh in (125, 250, 500, 1000):
+            p = para_refresh_probability(nrh, 1e-15)
+            assert (1 - p) ** nrh <= 1e-15 * 1.0001
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            para_refresh_probability(0)
+        with pytest.raises(ValueError):
+            para_refresh_probability(100, 0.0)
+        with pytest.raises(ValueError):
+            para_refresh_probability(100, 1.5)
+
+
+class TestPARA:
+    def test_refresh_rate_close_to_probability(self, fake_controller, tiny_dram_config):
+        para = PARA(nrh=1000, seed=5)
+        para.attach(fake_controller)
+        address = make_address(tiny_dram_config, row=50)
+        activations = 20_000
+        for cycle in range(activations):
+            para.on_activation(cycle, address, is_preventive=False)
+        triggers = len(fake_controller.preventive_refreshes) / 2  # two victims per trigger
+        rate = triggers / activations
+        assert rate == pytest.approx(para.probability, rel=0.15)
+
+    def test_preventive_activations_also_sampled(self, fake_controller, tiny_dram_config):
+        """Preventive ACTs disturb their neighbours, so PARA samples them too."""
+        para = PARA(nrh=125, probability=1.0)
+        para.attach(fake_controller)
+        address = make_address(tiny_dram_config, row=50)
+        para.on_activation(0, address, is_preventive=True)
+        assert {a.row for a, _ in fake_controller.preventive_refreshes} == {49, 51}
+
+    def test_probability_one_always_refreshes(self, fake_controller, tiny_dram_config):
+        para = PARA(nrh=125, probability=1.0)
+        para.attach(fake_controller)
+        address = make_address(tiny_dram_config, row=50)
+        para.on_activation(0, address, is_preventive=False)
+        assert {a.row for a, _ in fake_controller.preventive_refreshes} == {49, 51}
+
+    def test_probability_zero_never_refreshes(self, fake_controller, tiny_dram_config):
+        para = PARA(nrh=125, probability=0.0)
+        para.attach(fake_controller)
+        address = make_address(tiny_dram_config, row=50)
+        for cycle in range(1000):
+            para.on_activation(cycle, address, is_preventive=False)
+        assert fake_controller.preventive_refreshes == []
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            PARA(nrh=125, probability=1.5)
+
+    def test_stateless_storage(self):
+        assert PARA(nrh=125).storage_bits_per_bank() == 0
+
+    def test_deterministic_for_seed(self, tiny_dram_config):
+        from tests.conftest import FakeController
+
+        def run(seed):
+            controller = FakeController(dram_config=tiny_dram_config)
+            para = PARA(nrh=500, seed=seed)
+            para.attach(controller)
+            address = make_address(tiny_dram_config, row=8)
+            for cycle in range(500):
+                para.on_activation(cycle, address, is_preventive=False)
+            return len(controller.preventive_refreshes)
+
+        assert run(11) == run(11)

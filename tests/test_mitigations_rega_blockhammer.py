@@ -1,0 +1,138 @@
+"""Tests for the REGA and BlockHammer mitigations."""
+
+import pytest
+
+from repro.dram.config import DRAMConfig
+from repro.mitigations.blockhammer import BlockHammer, BlockHammerConfig
+from repro.mitigations.rega import REGA, REGAConfig
+from tests.conftest import FakeController, make_address
+
+
+class TestREGAConfig:
+    def test_no_inflation_at_high_threshold(self):
+        assert REGAConfig(nrh=1000).extra_activation_cycles == 0
+        assert REGAConfig(nrh=4000).extra_activation_cycles == 0
+
+    def test_inflation_grows_at_low_thresholds(self):
+        extra_500 = REGAConfig(nrh=500).extra_activation_cycles
+        extra_250 = REGAConfig(nrh=250).extra_activation_cycles
+        extra_125 = REGAConfig(nrh=125).extra_activation_cycles
+        assert 0 < extra_500 < extra_250 < extra_125
+
+    def test_refreshes_per_activation(self):
+        assert REGAConfig(nrh=1000).refreshes_per_activation == 1
+        assert REGAConfig(nrh=125).refreshes_per_activation == 8
+
+
+class TestREGA:
+    def test_adjust_dram_config_inflates_trc(self):
+        rega = REGA(nrh=125)
+        base = DRAMConfig()
+        adjusted = rega.adjust_dram_config(base)
+        assert adjusted.timing.tRC > base.timing.tRC
+        assert adjusted.timing.tRAS > base.timing.tRAS
+
+    def test_adjust_dram_config_noop_at_1k(self):
+        rega = REGA(nrh=1000)
+        base = DRAMConfig()
+        assert rega.adjust_dram_config(base) is base
+
+    def test_activation_reports_inline_victim_refreshes(self, tiny_dram_config):
+        controller = FakeController(dram_config=tiny_dram_config)
+        rega = REGA(nrh=125)
+        rega.attach(controller)
+        address = make_address(tiny_dram_config, row=10)
+        rega.on_activation(0, address, is_preventive=False)
+        refreshed_rows = {a.row for _, a in controller.dram.row_refreshes}
+        assert refreshed_rows == {9, 11}
+
+    def test_no_preventive_refresh_requests(self, tiny_dram_config):
+        controller = FakeController(dram_config=tiny_dram_config)
+        rega = REGA(nrh=125)
+        rega.attach(controller)
+        address = make_address(tiny_dram_config, row=10)
+        for cycle in range(100):
+            rega.on_activation(cycle, address, is_preventive=False)
+        assert controller.preventive_refreshes == []
+
+    def test_storage_report(self):
+        report = REGA(nrh=125).storage_report()
+        assert report["total_KiB"] == 0.0
+        assert report["dram_area_overhead_fraction"] == pytest.approx(0.0206)
+
+
+class TestBlockHammerConfig:
+    def test_blacklist_threshold(self):
+        assert BlockHammerConfig(nrh=1000).blacklist_threshold == 500
+        assert BlockHammerConfig(nrh=125, blacklist_fraction=0.5).blacklist_threshold == 62
+
+
+class TestBlockHammer:
+    def make(self, tiny_dram_config, nrh=125, **overrides):
+        controller = FakeController(dram_config=tiny_dram_config)
+        mechanism = BlockHammer(nrh=nrh, config=BlockHammerConfig(nrh=nrh, **overrides))
+        mechanism.attach(controller)
+        return mechanism, controller
+
+    def test_benign_row_not_throttled(self, tiny_dram_config):
+        blockhammer, _ = self.make(tiny_dram_config)
+        address = make_address(tiny_dram_config, row=10)
+        for cycle in range(10):
+            blockhammer.on_activation(cycle, address, is_preventive=False)
+        assert blockhammer.act_allowed_cycle(address, 100) == 100
+        assert blockhammer.stats.throttled_activations == 0
+
+    def test_hot_row_gets_throttled(self, tiny_dram_config):
+        blockhammer, _ = self.make(tiny_dram_config)
+        address = make_address(tiny_dram_config, row=10)
+        threshold = blockhammer.config.blacklist_threshold
+        cycle = 0
+        for _ in range(threshold + 1):
+            blockhammer.on_activation(cycle, address, is_preventive=False)
+            cycle += 1
+        allowed = blockhammer.act_allowed_cycle(address, cycle)
+        assert allowed > cycle
+        assert blockhammer.stats.throttled_activations >= 1
+
+    def test_throttle_gap_bounds_activation_rate(self, tiny_dram_config):
+        """The enforced gap keeps a blacklisted row below NRH per refresh window."""
+        blockhammer, _ = self.make(tiny_dram_config)
+        gap = blockhammer._throttle_gap_cycles
+        window = tiny_dram_config.tREFW
+        max_extra_acts = window // gap
+        assert blockhammer.config.blacklist_threshold + max_extra_acts <= blockhammer.nrh
+
+    def test_other_rows_unaffected_by_blacklisting(self, tiny_dram_config):
+        blockhammer, _ = self.make(tiny_dram_config)
+        hot = make_address(tiny_dram_config, row=10)
+        cold = make_address(tiny_dram_config, row=200)
+        cycle = 0
+        for _ in range(blockhammer.config.blacklist_threshold + 1):
+            blockhammer.on_activation(cycle, hot, is_preventive=False)
+            cycle += 1
+        assert blockhammer.act_allowed_cycle(cold, cycle) == cycle
+
+    def test_epoch_rollover_clears_old_history(self, tiny_dram_config):
+        blockhammer, _ = self.make(tiny_dram_config)
+        address = make_address(tiny_dram_config, row=10)
+        threshold = blockhammer.config.blacklist_threshold
+        for cycle in range(threshold + 1):
+            blockhammer.on_activation(cycle, address, is_preventive=False)
+        # Two epoch lengths later the filters have rolled over twice and the
+        # row is no longer blacklisted.
+        late = 2 * blockhammer._epoch_length + 10
+        blockhammer.on_activation(late, address, is_preventive=False)
+        blockhammer.on_activation(late + 1, address, is_preventive=False)
+        assert blockhammer.act_allowed_cycle(address, late + 2) == late + 2
+
+    def test_preventive_activations_also_tracked(self, tiny_dram_config):
+        blockhammer, _ = self.make(tiny_dram_config)
+        address = make_address(tiny_dram_config, row=10)
+        for cycle in range(200):
+            blockhammer.on_activation(cycle, address, is_preventive=True)
+        assert blockhammer.stats.observed_activations == 200
+
+    def test_storage_bits(self, tiny_dram_config):
+        blockhammer, _ = self.make(tiny_dram_config)
+        expected = 2 * blockhammer.config.num_counters * blockhammer.config.counter_width_bits
+        assert blockhammer.storage_bits_per_bank() == expected

@@ -1,0 +1,86 @@
+"""Tests for the experiment-runner helpers."""
+
+import pytest
+
+from repro.core.comet import CoMeT
+from repro.mitigations.base import RowHammerMitigation
+from repro.mitigations.blockhammer import BlockHammer
+from repro.mitigations.graphene import Graphene
+from repro.mitigations.hydra import Hydra
+from repro.mitigations.none import NoMitigation
+from repro.mitigations.para import PARA
+from repro.mitigations.rega import REGA
+from repro.sim.runner import (
+    MITIGATION_FACTORIES,
+    build_mitigation,
+    default_experiment_config,
+)
+
+
+class TestMitigationFactories:
+    def test_all_paper_mechanisms_present(self):
+        assert set(MITIGATION_FACTORIES) == {
+            "none",
+            "comet",
+            "graphene",
+            "hydra",
+            "rega",
+            "para",
+            "blockhammer",
+        }
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("none", NoMitigation),
+            ("comet", CoMeT),
+            ("graphene", Graphene),
+            ("hydra", Hydra),
+            ("rega", REGA),
+            ("para", PARA),
+            ("blockhammer", BlockHammer),
+        ],
+    )
+    def test_factory_builds_right_type(self, name, cls):
+        mitigation = build_mitigation(name, nrh=500)
+        assert isinstance(mitigation, cls)
+        assert isinstance(mitigation, RowHammerMitigation)
+
+    def test_threshold_propagated(self):
+        assert build_mitigation("comet", nrh=250).nrh == 250
+        assert build_mitigation("graphene", nrh=125).nrh == 125
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown mitigation"):
+            build_mitigation("trr", nrh=1000)
+
+    def test_overrides_forwarded(self):
+        from repro.core.config import CoMeTConfig
+
+        comet = build_mitigation("comet", nrh=1000, config=CoMeTConfig(nrh=1000, num_hashes=2))
+        assert comet.config.num_hashes == 2
+
+    def test_none_ignores_overrides(self):
+        assert isinstance(build_mitigation("none", nrh=1000, blast_radius=2), NoMitigation)
+
+
+class TestDefaultExperimentConfig:
+    def test_scaled_down_from_paper_config(self):
+        config = default_experiment_config()
+        assert config.organization.rows_per_bank < 128 * 1024
+        assert config.tREFW < config.timing.tREFW
+
+    def test_dual_rank(self):
+        config = default_experiment_config()
+        assert config.organization.ranks_per_channel == 2
+
+    def test_refresh_window_spans_multiple_reset_periods(self):
+        """The scaled window must still hold k=3 reset periods and several tREFI."""
+        config = default_experiment_config()
+        assert config.tREFW // 3 > 0
+        assert config.tREFW > 4 * config.tREFI
+
+    def test_parameters_overridable(self):
+        config = default_experiment_config(rows_per_bank=1024, refresh_window_scale=1 / 64)
+        assert config.organization.rows_per_bank == 1024
+        assert config.refresh_window_scale == 1 / 64
