@@ -11,11 +11,19 @@ Every benchmark regenerates one table or figure of the CoMeT paper
   rows/series the paper reports) and also writes them to
   ``benchmarks/results/``.
 
+Since the sweep-executor refactor every simulation goes through
+:func:`repro.sim.sweep.execute_point`, the same entry point the
+:class:`~repro.sim.sweep.SweepRunner` workers use, so benchmark runs can
+share the sweep executor's on-disk result cache.
+
 Environment knobs:
 
 * ``REPRO_FULL_SUITE=1`` — use the full 61-workload suite instead of the
   5-workload representative subset (much slower).
 * ``REPRO_BENCH_REQUESTS=<n>`` — override the per-workload trace length.
+* ``REPRO_BENCH_DISK_CACHE=<dir>`` — also memoize results on disk (keyed by
+  config hash, see EXPERIMENTS.md), so re-running a figure after an
+  unrelated edit reuses every simulation.
 """
 
 from __future__ import annotations
@@ -26,9 +34,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.dram.dram_system import DRAMStatistics
 from repro.energy.model import DRAMEnergyModel
-from repro.sim.runner import default_experiment_config, run_multi_core, run_single_core
+from repro.sim.runner import default_experiment_config
+from repro.sim.sweep import SweepCache, SweepPoint, execute_point, point_cache_key
 from repro.sim.system import SimulationResult
-from repro.workloads.suite import build_multicore_traces, build_trace, workload_names
+from repro.workloads.suite import workload_names
 
 # --------------------------------------------------------------------------- #
 # Configuration
@@ -68,34 +77,33 @@ def recorded_results() -> List[Tuple[str, str]]:
 # Simulation cache
 # --------------------------------------------------------------------------- #
 class SimulationCache:
-    """Caches traces and simulation results across benchmark files."""
+    """Caches traces and simulation results across benchmark files.
+
+    Every simulation is expressed as a :class:`~repro.sim.sweep.SweepPoint`
+    and executed through :func:`~repro.sim.sweep.execute_point`, so results
+    are interchangeable with (and, when ``REPRO_BENCH_DISK_CACHE`` is set,
+    shared with) the sweep executor's cache.
+    """
 
     def __init__(self) -> None:
         self.dram_config = default_experiment_config()
         self.energy_model = DRAMEnergyModel(num_ranks=2)
-        self._traces: Dict[Tuple, object] = {}
         self._results: Dict[Tuple, SimulationResult] = {}
+        disk_dir = os.environ.get("REPRO_BENCH_DISK_CACHE")
+        self.disk_cache: Optional[SweepCache] = (
+            SweepCache(Path(disk_dir)) if disk_dir else None
+        )
 
-    # -- traces -----------------------------------------------------------
-    def trace(self, workload: str, num_requests: int = NUM_REQUESTS):
-        key = ("trace", workload, num_requests)
-        if key not in self._traces:
-            self._traces[key] = build_trace(
-                workload, num_requests=num_requests, dram_config=self.dram_config
-            )
-        return self._traces[key]
-
-    def multicore_traces(self, workload: str, num_cores: int = 8,
-                         num_requests: int = MULTICORE_REQUESTS):
-        key = ("mc_traces", workload, num_cores, num_requests)
-        if key not in self._traces:
-            self._traces[key] = build_multicore_traces(
-                workload,
-                num_cores=num_cores,
-                num_requests=num_requests,
-                dram_config=self.dram_config,
-            )
-        return self._traces[key]
+    def _simulate(self, point: SweepPoint) -> SimulationResult:
+        if self.disk_cache is not None:
+            key = point_cache_key(point, self.dram_config, None)
+            cached = self.disk_cache.get(key)
+            if cached is not None:
+                return cached
+        result = execute_point(point, dram_config=self.dram_config)
+        if self.disk_cache is not None:
+            self.disk_cache.put(key, result)
+        return result
 
     # -- single-core runs --------------------------------------------------
     def run(
@@ -111,14 +119,15 @@ class SimulationCache:
             nrh = 0  # the baseline is threshold-independent; share one run
         key = ("run", workload, mitigation, nrh, num_requests, overrides_key)
         if key not in self._results:
-            trace = self.trace(workload, num_requests)
-            self._results[key] = run_single_core(
-                trace,
-                mitigation,
-                nrh=max(1, nrh) if mitigation == "none" else nrh,
-                dram_config=self.dram_config,
-                mitigation_overrides=overrides,
-                verify_security=mitigation != "none",
+            self._results[key] = self._simulate(
+                SweepPoint(
+                    workload=workload,
+                    mitigation=mitigation,
+                    nrh=max(1, nrh) if mitigation == "none" else nrh,
+                    num_requests=num_requests,
+                    mitigation_overrides=overrides,
+                    verify_security=mitigation != "none",
+                )
             )
         return self._results[key]
 
@@ -140,15 +149,16 @@ class SimulationCache:
             nrh = 0
         key = ("mc_run", workload, mitigation, nrh, num_cores, num_requests, overrides_key)
         if key not in self._results:
-            traces = self.multicore_traces(workload, num_cores, num_requests)
-            self._results[key] = run_multi_core(
-                traces,
-                mitigation,
-                nrh=max(1, nrh) if mitigation == "none" else nrh,
-                dram_config=self.dram_config,
-                mitigation_overrides=overrides,
-                verify_security=mitigation != "none",
-                name=f"{workload}_x{num_cores}",
+            self._results[key] = self._simulate(
+                SweepPoint(
+                    workload=workload,
+                    mitigation=mitigation,
+                    nrh=max(1, nrh) if mitigation == "none" else nrh,
+                    num_requests=num_requests,
+                    num_cores=num_cores,
+                    mitigation_overrides=overrides,
+                    verify_security=mitigation != "none",
+                )
             )
         return self._results[key]
 

@@ -8,9 +8,24 @@ fixture and prints every regenerated table/figure in the terminal summary so
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 import _bench_utils
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every benchmark harness regenerates a full figure: all are `slow`.
+
+    The default `-m "not slow"` (pytest.ini) keeps them out of tier-1; run
+    them with `python -m pytest benchmarks -m slow`.  The hook receives the
+    whole session's items, so restrict to this directory.
+    """
+    here = Path(__file__).parent
+    for item in items:
+        if here in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

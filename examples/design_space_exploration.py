@@ -11,82 +11,106 @@ Three sweeps on a memory-intensive workload at a very low RowHammer threshold:
   often (fewer saturated counters) but lowers NPR = NRH/(k+1), so k=3 is the
   sweet spot the paper selects.
 
+All three sweeps (plus the shared baseline) are expressed as
+:class:`repro.sim.sweep.SweepPoint` grids and executed in one
+:class:`repro.sim.sweep.SweepRunner` batch: points fan out across worker
+processes and cached results are reused across runs.
+
 Run with:  python examples/design_space_exploration.py
 """
 
 from repro.analysis.reporting import format_table
 from repro.core.config import CoMeTConfig
-from repro.sim.runner import default_experiment_config, run_single_core
-from repro.workloads.suite import build_trace
+from repro.sim.sweep import SweepPoint, SweepRunner
 
 NRH = 125
 WORKLOAD = "429.mcf"
 NUM_REQUESTS = 6000
 
+CT_PAIRS = [(h, c) for h in (1, 2, 4) for c in (128, 512)]
+RAT_SIZES = [32, 128, 512]
+RESET_DIVIDERS = [1, 2, 3, 4]
+
+
+def comet_point(config: CoMeTConfig) -> SweepPoint:
+    return SweepPoint(
+        workload=WORKLOAD,
+        mitigation="comet",
+        nrh=NRH,
+        num_requests=NUM_REQUESTS,
+        mitigation_overrides={"config": config},
+    )
+
 
 def main() -> None:
-    dram_config = default_experiment_config()
-    trace = build_trace(WORKLOAD, num_requests=NUM_REQUESTS, dram_config=dram_config)
-    baseline = run_single_core(trace, "none", nrh=NRH, dram_config=dram_config)
+    baseline_point = SweepPoint(
+        workload=WORKLOAD,
+        mitigation="none",
+        nrh=NRH,
+        num_requests=NUM_REQUESTS,
+        verify_security=False,
+    )
+    ct_points = [
+        comet_point(CoMeTConfig(nrh=NRH, num_hashes=h, counters_per_hash=c))
+        for h, c in CT_PAIRS
+    ]
+    rat_points = [
+        comet_point(CoMeTConfig(nrh=NRH, rat_entries=entries)) for entries in RAT_SIZES
+    ]
+    reset_points = [
+        comet_point(CoMeTConfig(nrh=NRH, reset_period_divider=k))
+        for k in RESET_DIVIDERS
+    ]
 
-    def run(config: CoMeTConfig):
-        result = run_single_core(
-            trace, "comet", nrh=NRH, dram_config=dram_config,
-            mitigation_overrides={"config": config},
-        )
-        return result
+    runner = SweepRunner()
+    all_points = [baseline_point, *ct_points, *rat_points, *reset_points]
+    results = runner.run(all_points)
+    baseline, results = results[0], results[1:]
+    ct_results = results[: len(ct_points)]
+    rat_results = results[len(ct_points) : len(ct_points) + len(rat_points)]
+    reset_results = results[len(ct_points) + len(rat_points) :]
 
     # ------------------------------------------------------------------ #
     # Figure 6: Counter Table geometry sweep
     # ------------------------------------------------------------------ #
-    rows = []
-    for num_hashes in (1, 2, 4):
-        for counters in (128, 512):
-            config = CoMeTConfig(nrh=NRH, num_hashes=num_hashes, counters_per_hash=counters)
-            result = run(config)
-            rows.append(
-                {
-                    "NHash": num_hashes,
-                    "NCounters": counters,
-                    "norm_IPC": round(result.ipc / baseline.ipc, 4),
-                    "preventive_refreshes": result.preventive_refreshes,
-                }
-            )
+    rows = [
+        {
+            "NHash": num_hashes,
+            "NCounters": counters,
+            "norm_IPC": round(result.ipc / baseline.ipc, 4),
+            "preventive_refreshes": result.preventive_refreshes,
+        }
+        for (num_hashes, counters), result in zip(CT_PAIRS, ct_results)
+    ]
     print(format_table(rows, title=f"Counter Table sweep (Figure 6), {WORKLOAD}, NRH={NRH}"))
     print()
 
     # ------------------------------------------------------------------ #
     # Figure 7: RAT size sweep
     # ------------------------------------------------------------------ #
-    rows = []
-    for rat_entries in (32, 128, 512):
-        config = CoMeTConfig(nrh=NRH, rat_entries=rat_entries)
-        result = run(config)
-        rows.append(
-            {
-                "RAT_entries": rat_entries,
-                "norm_IPC": round(result.ipc / baseline.ipc, 4),
-                "early_refreshes": result.early_refresh_operations,
-            }
-        )
+    rows = [
+        {
+            "RAT_entries": entries,
+            "norm_IPC": round(result.ipc / baseline.ipc, 4),
+            "early_refreshes": result.early_refresh_operations,
+        }
+        for entries, result in zip(RAT_SIZES, rat_results)
+    ]
     print(format_table(rows, title=f"RAT size sweep (Figure 7), {WORKLOAD}, NRH={NRH}"))
     print()
 
     # ------------------------------------------------------------------ #
     # Figure 9: counter reset period (k) sweep
     # ------------------------------------------------------------------ #
-    rows = []
-    for k in (1, 2, 3, 4):
-        config = CoMeTConfig(nrh=NRH, reset_period_divider=k)
-        result = run(config)
-        rows.append(
-            {
-                "k": k,
-                "NPR": config.npr,
-                "norm_IPC": round(result.ipc / baseline.ipc, 4),
-                "preventive_refreshes": result.preventive_refreshes,
-            }
-        )
+    rows = [
+        {
+            "k": k,
+            "NPR": CoMeTConfig(nrh=NRH, reset_period_divider=k).npr,
+            "norm_IPC": round(result.ipc / baseline.ipc, 4),
+            "preventive_refreshes": result.preventive_refreshes,
+        }
+        for k, result in zip(RESET_DIVIDERS, reset_results)
+    ]
     print(format_table(rows, title=f"Reset period sweep (Figure 9), {WORKLOAD}, NRH={NRH}"))
 
 

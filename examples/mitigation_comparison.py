@@ -6,6 +6,11 @@ of Table 3 plus an extra high-intensity one), the example runs every
 mitigation at two RowHammer thresholds and prints normalized IPC and
 normalized DRAM energy, the two headline metrics of the paper's evaluation.
 
+The whole grid goes through :class:`repro.sim.sweep.SweepRunner`, so the runs
+fan out across worker processes and land in the on-disk result cache —
+re-running the example (or any other sweep sharing points with it) is nearly
+instant.
+
 Run with:  python examples/mitigation_comparison.py
 """
 
@@ -13,8 +18,7 @@ from repro.analysis.reporting import format_table
 from repro.energy.model import DRAMEnergyModel
 from repro.dram.dram_system import DRAMStatistics
 from repro.sim.metrics import geometric_mean
-from repro.sim.runner import default_experiment_config, run_single_core
-from repro.workloads.suite import build_trace
+from repro.sim.sweep import SweepRunner
 
 WORKLOADS = ["519.lbm", "429.mcf", "462.libquantum", "502.gcc"]
 MECHANISMS = ["comet", "graphene", "hydra", "rega", "para"]
@@ -31,24 +35,25 @@ def to_stats(result) -> DRAMStatistics:
 
 
 def main() -> None:
-    dram_config = default_experiment_config()
     energy_model = DRAMEnergyModel(num_ranks=2)
 
-    traces = {
-        name: build_trace(name, num_requests=NUM_REQUESTS, dram_config=dram_config)
-        for name in WORKLOADS
-    }
-    baselines = {
-        name: run_single_core(trace, "none", nrh=1000, dram_config=dram_config)
-        for name, trace in traces.items()
-    }
+    points = SweepRunner.grid(
+        workloads=WORKLOADS,
+        mitigations=MECHANISMS,
+        nrhs=THRESHOLDS,
+        num_requests=NUM_REQUESTS,
+    )
+    runner = SweepRunner()
+    point_results = list(zip(points, runner.run(points)))
+    results = {(p.workload, p.mitigation, p.nrh): r for p, r in point_results}
+    baselines = {p.workload: r for p, r in point_results if p.mitigation == "none"}
 
     for nrh in THRESHOLDS:
         rows = []
         for mechanism in MECHANISMS:
             ipcs, energies = [], []
-            for name, trace in traces.items():
-                result = run_single_core(trace, mechanism, nrh=nrh, dram_config=dram_config)
+            for name in WORKLOADS:
+                result = results[(name, mechanism, nrh)]
                 base = baselines[name]
                 ipcs.append(result.ipc / base.ipc)
                 energies.append(

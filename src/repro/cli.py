@@ -18,6 +18,10 @@ without writing a script:
     Run the traditional RowHammer attack against a mitigation and report the
     security verifier's verdict.
 
+``python -m repro.cli sweep --workloads 429.mcf --mitigations comet para --nrh 1000 125``
+    Fan a mitigation x threshold grid across worker processes through the
+    on-disk result cache and print every point (Figures 6-9 pattern).
+
 ``python -m repro.cli area --nrh 125``
     Print the storage/area comparison (Table 4 row) for a threshold.
 """
@@ -31,10 +35,11 @@ from typing import List, Optional, Sequence
 from repro.analysis.reporting import format_table
 from repro.area.model import comet_area_report, graphene_area_report, hydra_area_report
 from repro.sim.runner import (
-    MITIGATION_FACTORIES,
+    MITIGATION_REGISTRY,
     default_experiment_config,
     run_single_core,
 )
+from repro.sim.sweep import SweepRunner
 from repro.workloads.attacks import traditional_rowhammer_attack
 from repro.workloads.suite import build_trace, workloads_by_category
 
@@ -53,7 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--mitigation",
         default="comet",
-        choices=sorted(MITIGATION_FACTORIES),
+        choices=sorted(MITIGATION_REGISTRY),
         help="mitigation mechanism (default: comet)",
     )
 
@@ -68,12 +73,42 @@ def build_parser() -> argparse.ArgumentParser:
     attack_parser.add_argument(
         "--mitigation",
         default="comet",
-        choices=sorted(MITIGATION_FACTORIES),
+        choices=sorted(MITIGATION_REGISTRY),
         help="mitigation mechanism (default: comet)",
     )
     attack_parser.add_argument("--nrh", type=int, default=125, help="RowHammer threshold")
     attack_parser.add_argument(
         "--requests", type=int, default=6000, help="attack trace length"
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a mitigation x threshold grid through the sweep executor"
+    )
+    sweep_parser.add_argument(
+        "--workloads", nargs="+", default=["429.mcf"], help="workload names"
+    )
+    sweep_parser.add_argument(
+        "--mitigations",
+        nargs="+",
+        default=["comet"],
+        choices=sorted(MITIGATION_REGISTRY),
+        help="mitigation mechanisms to sweep",
+    )
+    sweep_parser.add_argument(
+        "--nrh", type=int, nargs="+", default=[1000, 125], help="RowHammer thresholds"
+    )
+    sweep_parser.add_argument(
+        "--requests", type=int, default=8000, help="trace length in requests"
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU; 0 runs inline)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None, help="result cache directory (see EXPERIMENTS.md)"
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the on-disk result cache"
     )
 
     area_parser = subparsers.add_parser("area", help="print the Table 4 area comparison")
@@ -121,7 +156,7 @@ def _command_compare(args: argparse.Namespace) -> str:
     trace = build_trace(args.workload, num_requests=args.requests, dram_config=dram_config)
     baseline = run_single_core(trace, "none", nrh=args.nrh, dram_config=dram_config)
     rows = []
-    for name in sorted(MITIGATION_FACTORIES):
+    for name in sorted(MITIGATION_REGISTRY):
         if name == "none":
             continue
         result = run_single_core(trace, name, nrh=args.nrh, dram_config=dram_config)
@@ -156,6 +191,48 @@ def _command_attack(args: argparse.Namespace) -> str:
     return format_table(rows, title="traditional RowHammer attack")
 
 
+def _command_sweep(args: argparse.Namespace) -> str:
+    points = SweepRunner.grid(
+        workloads=args.workloads,
+        mitigations=args.mitigations,
+        nrhs=args.nrh,
+        num_requests=args.requests,
+    )
+    runner = SweepRunner(
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    results = runner.run(points)
+    baselines = {
+        point.workload: result
+        for point, result in zip(points, results)
+        if point.mitigation == "none"
+    }
+    rows = []
+    for point, result in zip(points, results):
+        if point.mitigation == "none":
+            continue
+        baseline = baselines[point.workload]
+        rows.append(
+            {
+                "workload": point.workload,
+                "mitigation": point.mitigation,
+                "nrh": point.nrh,
+                "normalized_IPC": round(result.ipc / baseline.ipc, 4) if baseline.ipc else 0.0,
+                "preventive_refreshes": result.preventive_refreshes,
+                "secure": result.security_ok,
+            }
+        )
+    cache_note = ""
+    if runner.cache is not None:
+        cache_note = f" (cache: {runner.cache.hits} hits, {runner.cache.misses} misses)"
+    return format_table(
+        rows,
+        title=f"sweep over {len(points)} points{cache_note}",
+    )
+
+
 def _command_area(args: argparse.Namespace) -> str:
     rows = [
         comet_area_report(args.nrh).as_row(),
@@ -170,6 +247,7 @@ _COMMANDS = {
     "run": _command_run,
     "compare": _command_compare,
     "attack": _command_attack,
+    "sweep": _command_sweep,
     "area": _command_area,
 }
 

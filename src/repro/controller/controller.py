@@ -235,6 +235,39 @@ class MemoryController:
             return None
         return decision[0]
 
+    def next_decision(self, cycle: int) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
+        """Pick the best command as of ``cycle``: ``(issue_cycle, command, request)``.
+
+        The event kernel caches the returned decision and, provided no queue
+        state changed in between, hands it back to :meth:`issue_decision` so
+        command selection runs once per issued command instead of twice.  A
+        cached decision stays the right choice at its issue cycle unless a
+        periodic refresh becomes due in between — check
+        :meth:`refresh_crosses_due` before trusting it.
+        """
+        return self._choose_command(cycle)
+
+    def issue_decision(
+        self, decision: Tuple[int, Command, Optional[MemoryRequest]]
+    ) -> int:
+        """Issue a decision produced by :meth:`next_decision`; returns its cycle."""
+        issue_cycle, command, request = decision
+        self.current_cycle = issue_cycle
+        result = self.dram.issue(command, issue_cycle)
+        self._post_issue(command, request, issue_cycle, result)
+        return issue_cycle
+
+    def refresh_crosses_due(self, start: int, end: int) -> bool:
+        """True when a periodic refresh becomes due in ``(start, end]``.
+
+        A decision made at ``start`` that issues at ``end`` considered every
+        refresh already due at ``start``; only a deadline strictly inside the
+        interval can change what the scheduler would pick.
+        """
+        if not self.dram_config.refresh_enabled:
+            return False
+        return any(start < due <= end for due in self.next_refresh_due.values())
+
     def issue_next(self, cycle: int) -> Optional[int]:
         """Issue the best command at the earliest legal cycle >= ``cycle``.
 
@@ -244,11 +277,7 @@ class MemoryController:
         decision = self._choose_command(cycle)
         if decision is None:
             return None
-        issue_cycle, command, request = decision
-        self.current_cycle = issue_cycle
-        result = self.dram.issue(command, issue_cycle)
-        self._post_issue(command, request, issue_cycle, result)
-        return issue_cycle
+        return self.issue_decision(decision)
 
     # -- command selection ------------------------------------------------
     def _choose_command(
@@ -310,7 +339,20 @@ class MemoryController:
     ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
         self._prune_preventive_queue(cycle)
         best: Optional[Tuple[int, Command, MemoryRequest]] = None
+        seen_categories = set()
         for request in self.preventive_queue:
+            # All queued refreshes of one bank in the same phase (awaiting
+            # their ACT, or awaiting the closing PRE) produce the same command
+            # kind at the same earliest cycle — the ACT/PRE constraints do not
+            # depend on the row — and ties keep the earliest-queued request,
+            # so only the first request per (bank, phase) can win the scan.
+            category = (
+                request.address.bank_key,
+                request.__dict__.get("_refresh_activated", False),
+            )
+            if category in seen_categories:
+                continue
+            seen_categories.add(category)
             command = self._next_command_for_refresh(request)
             issue_cycle = self.dram.earliest_issue_cycle(command, cycle)
             if best is None or issue_cycle < best[0]:

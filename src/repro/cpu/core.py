@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.controller.controller import MemoryController
 from repro.controller.request import MemoryRequest, RequestType
@@ -91,7 +91,9 @@ class Core:
         self._blocked_on_queue: Optional[MemoryRequest] = None
         self._last_completion_cycle = 0.0
         self._trace_exhausted = len(trace) == 0
-        controller.add_slot_free_callback(self._on_queue_slot_free)
+        #: Set by the event kernel; called whenever a state change may move
+        #: this core's next event earlier (a read completion arriving).
+        self.kernel_wakeup: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------ #
     # Scheduling interface used by the system simulation
@@ -229,6 +231,8 @@ class Core:
         self.stats.finish_cycle = max(self.stats.finish_cycle, float(cycle))
         # Drop completed reads from the head so `finished` becomes observable.
         self._retire_completed(float(cycle))
+        if self.kernel_wakeup is not None:
+            self.kernel_wakeup()
 
     def _retry_blocked_request(self, cycle: float) -> None:
         request = self._blocked_on_queue
@@ -237,11 +241,6 @@ class Core:
         if self.controller.enqueue(request, int(cycle)):
             self._blocked_on_queue = None
             self._front_cycle = max(self._front_cycle, cycle)
-
-    def _on_queue_slot_free(self) -> None:
-        # Nothing to do eagerly: the system simulation polls
-        # `has_blocked_request` after controller progress and retries then.
-        pass
 
     def retry_blocked(self, cycle: float) -> bool:
         """Retry a request rejected on a full queue; True when it got enqueued."""

@@ -1,5 +1,10 @@
 """System assembly and experiment running.
 
+* :mod:`repro.sim.engine` — the event-driven simulation kernel: one min-heap
+  of timestamped events shared by cores, the memory controller and the
+  mitigation.
+* :mod:`repro.sim.sweep` — the design-space sweep executor: declarative
+  sweep points, worker-process fan-out, on-disk result caching.
 * :class:`~repro.sim.system.System` — wires cores, the memory controller,
   the DRAM model, a RowHammer mitigation and the security verifier together
   and runs the event-driven simulation to completion.
@@ -10,6 +15,7 @@
   mitigations, sweep configurations.
 """
 
+from repro.sim.engine import EventKernel, SimulationDeadlockError
 from repro.sim.system import System, SystemConfig, SimulationResult
 from repro.sim.metrics import (
     geometric_mean,
@@ -20,23 +26,31 @@ from repro.sim.metrics import (
 )
 from repro.sim.runner import (
     MITIGATION_FACTORIES,
+    MITIGATION_REGISTRY,
     build_mitigation,
     run_single_core,
     run_multi_core,
     compare_single_core,
     normalized_ipc,
 )
+from repro.sim.sweep import SweepPoint, SweepRunner, execute_point
 
 __all__ = [
+    "EventKernel",
+    "SimulationDeadlockError",
     "System",
     "SystemConfig",
     "SimulationResult",
+    "SweepPoint",
+    "SweepRunner",
+    "execute_point",
     "geometric_mean",
     "normalized_values",
     "weighted_speedup",
     "normalized_weighted_speedup",
     "summarize_distribution",
     "MITIGATION_FACTORIES",
+    "MITIGATION_REGISTRY",
     "build_mitigation",
     "run_single_core",
     "run_multi_core",

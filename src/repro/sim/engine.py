@@ -1,0 +1,282 @@
+"""Event-driven simulation kernel.
+
+The kernel owns a single min-heap of timestamped events and drives every
+component of a :class:`~repro.sim.system.System` — cores, the memory
+controller, and (optionally) mitigations — through it.  It replaces the
+seed's per-step loop, which re-scanned every core (``O(N)`` per event) and
+re-polled the controller on every iteration, and which papered over the
+blocked-core/empty-controller stall with a one-cycle time nudge.
+
+Scheduling model
+----------------
+
+Each component is an *event source*:
+
+* A **core** is scheduled at :meth:`~repro.cpu.core.Core.next_event_cycle`.
+  Its entry is re-queued whenever its own step changes its state, one of its
+  outstanding reads completes (the controller fires the core's kernel-wakeup
+  hook mid-issue), or a controller queue slot frees while it has a blocked
+  request.
+* The **controller** is scheduled at the earliest cycle at which it can issue
+  a command.  Its entry is invalidated and recomputed after every event that
+  can change its queues (a core step, a retry, its own issue).
+* **Mitigations** may register their own timestamped callbacks through
+  :meth:`EventKernel.schedule` (see
+  :meth:`repro.mitigations.base.RowHammerMitigation.register_events`).
+
+Stale heap entries are invalidated lazily with per-source generation
+counters, so re-scheduling is O(log n) and no entry is ever searched for.
+
+Ties are broken the same way the seed loop's comparisons did: cores win over
+the controller at equal timestamps, and the lowest-numbered core wins among
+cores.
+
+Termination
+-----------
+
+When the heap runs dry before every core finished, the kernel retries every
+blocked core exactly once (a queue slot may have freed without an event being
+scheduled, e.g. under a test double).  If no retry makes progress the
+simulation is provably wedged and the kernel raises
+:class:`SimulationDeadlockError` instead of spinning time forward one cycle
+at a time like the seed loop did.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.controller.controller import MemoryController
+from repro.cpu.core import Core
+
+_INFINITY = math.inf
+
+#: Heap priorities: cores beat the controller at equal timestamps (the seed
+#: loop's ``core_cycle <= controller_time`` comparison), and user callbacks
+#: run after both so they observe a settled cycle.
+_PRIORITY_CORE = 0
+_PRIORITY_CONTROLLER = 1
+_PRIORITY_CALLBACK = 2
+
+
+class SimulationDeadlockError(RuntimeError):
+    """The event queue ran dry with unfinished cores and an idle controller."""
+
+
+class EventKernel:
+    """Min-heap event queue driving cores, controller and mitigations.
+
+    Parameters
+    ----------
+    cores:
+        The system's cores, in core-id order (the order is the tie-break).
+    controller:
+        The shared memory controller.
+    max_steps:
+        Upper bound on processed events (a runaway guard, like the seed's
+        ``SystemConfig.max_steps``).
+    """
+
+    def __init__(
+        self,
+        cores: Sequence[Core],
+        controller: MemoryController,
+        max_steps: int = 200_000_000,
+    ) -> None:
+        self.cores = list(cores)
+        self.controller = controller
+        self.max_steps = max_steps
+        self.now = 0.0
+        self.steps = 0
+
+        # Heap entries: (time, priority, index, generation).  A popped entry
+        # is live only if its generation matches the source's current one.
+        self._heap: List[Tuple[float, int, int, int]] = []
+        self._core_gen = [0] * len(self.cores)
+        self._controller_gen = 0
+        #: Decision cached at schedule time; valid while the generation holds
+        #: (no queue mutation since) and no refresh deadline crossed.
+        self._controller_decision = None
+        self._controller_recheck = False
+        self._callback_seq = 0
+        self._callbacks: dict[int, Callable[[float], None]] = {}
+        #: Cores whose state changed mid-event (read completions fire while
+        #: the controller is issuing); re-scheduled once the event finishes.
+        self._dirty_cores: set[int] = set()
+
+        for index, core in enumerate(self.cores):
+            core.kernel_wakeup = self._make_core_wakeup(index)
+        controller.add_slot_free_callback(self._on_slot_free)
+        mitigation = getattr(controller, "mitigation", None)
+        if mitigation is not None:
+            mitigation.register_events(self)
+
+    # ------------------------------------------------------------------ #
+    # Public scheduling interface
+    # ------------------------------------------------------------------ #
+    def schedule(self, cycle: float, callback: Callable[[float], None]) -> None:
+        """Register ``callback(now)`` to run at ``cycle`` (clamped to now)."""
+        self._callback_seq += 1
+        token = self._callback_seq
+        self._callbacks[token] = callback
+        heapq.heappush(
+            self._heap, (max(float(cycle), self.now), _PRIORITY_CALLBACK, token, 0)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> float:
+        """Process events until all cores finish; returns the final time."""
+        for index in range(len(self.cores)):
+            self._schedule_core(index)
+        self._schedule_controller()
+
+        while self.steps < self.max_steps:
+            entry = self._pop_live()
+            if entry is None:
+                if self._all_done():
+                    break
+                if not self._recover_stall():
+                    self._raise_deadlock()
+                continue
+            time, priority, index = entry
+            self.now = max(self.now, time)
+            self.steps += 1
+
+            if priority == _PRIORITY_CORE:
+                core = self.cores[index]
+                if core.has_blocked_request:
+                    core.retry_blocked(self.now)
+                elif not core.finished:
+                    core.step(self.now)
+                self._schedule_core(index)
+                self._schedule_controller()
+            elif priority == _PRIORITY_CONTROLLER:
+                if self._controller_recheck:
+                    issued = self.controller.issue_next(int(math.ceil(time)))
+                else:
+                    issued = self.controller.issue_decision(self._controller_decision)
+                if issued is not None:
+                    self.now = max(self.now, float(issued))
+                self._schedule_controller()
+            else:
+                callback = self._callbacks.pop(index, None)
+                if callback is not None:
+                    callback(self.now)
+                self._schedule_controller()
+            self._flush_dirty_cores()
+        return self.now
+
+    def _all_done(self) -> bool:
+        return all(core.finished for core in self.cores) and not self.controller.has_work()
+
+    # ------------------------------------------------------------------ #
+    # Scheduling helpers
+    # ------------------------------------------------------------------ #
+    def _schedule_core(self, index: int) -> None:
+        self._core_gen[index] += 1
+        cycle = self.cores[index].next_event_cycle()
+        if cycle is _INFINITY:
+            return
+        heapq.heappush(
+            self._heap,
+            (max(float(cycle), self.now), _PRIORITY_CORE, index, self._core_gen[index]),
+        )
+
+    def _schedule_core_retry(self, index: int, cycle: float) -> None:
+        """Wake a blocked core at ``cycle`` to retry its rejected request."""
+        self._core_gen[index] += 1
+        heapq.heappush(
+            self._heap,
+            (max(float(cycle), self.now), _PRIORITY_CORE, index, self._core_gen[index]),
+        )
+
+    def _schedule_controller(self) -> None:
+        self._controller_gen += 1
+        cycle = int(math.ceil(self.now))
+        decision = self.controller.next_decision(cycle)
+        if decision is None:
+            self._controller_decision = None
+            return
+        issue_cycle = decision[0]
+        self._controller_decision = decision
+        # A refresh deadline inside (cycle, issue_cycle] would outrank the
+        # cached decision once due; recompute at issue time in that case.
+        self._controller_recheck = self.controller.refresh_crosses_due(
+            cycle, issue_cycle
+        )
+        heapq.heappush(
+            self._heap,
+            (float(issue_cycle), _PRIORITY_CONTROLLER, -1, self._controller_gen),
+        )
+
+    def _pop_live(self) -> Optional[Tuple[float, int, int]]:
+        heap = self._heap
+        while heap:
+            time, priority, index, gen = heapq.heappop(heap)
+            if priority == _PRIORITY_CORE and gen != self._core_gen[index]:
+                continue
+            if priority == _PRIORITY_CONTROLLER and gen != self._controller_gen:
+                continue
+            if priority == _PRIORITY_CALLBACK and index not in self._callbacks:
+                continue
+            return time, priority, index
+        return None
+
+    def _flush_dirty_cores(self) -> None:
+        while self._dirty_cores:
+            index = self._dirty_cores.pop()
+            core = self.cores[index]
+            if core.has_blocked_request:
+                self._schedule_core_retry(
+                    index, max(self.now, float(self.controller.current_cycle))
+                )
+            else:
+                self._schedule_core(index)
+
+    # ------------------------------------------------------------------ #
+    # Hooks fired by the components
+    # ------------------------------------------------------------------ #
+    def _make_core_wakeup(self, index: int) -> Callable[[], None]:
+        def wakeup() -> None:
+            self._dirty_cores.add(index)
+
+        return wakeup
+
+    def _on_slot_free(self) -> None:
+        for index, core in enumerate(self.cores):
+            if core.has_blocked_request:
+                self._dirty_cores.add(index)
+
+    # ------------------------------------------------------------------ #
+    # Stall handling
+    # ------------------------------------------------------------------ #
+    def _recover_stall(self) -> bool:
+        """Retry every blocked core once; True when any made progress.
+
+        Reached only when the heap is empty with unfinished cores.  With the
+        real controller a blocked core implies a full (hence non-empty) queue,
+        so this is unreachable; a test double or future backend that rejects
+        an enqueue while idle lands here, and the retry either unblocks the
+        core or proves the system wedged.
+        """
+        progressed = False
+        for index, core in enumerate(self.cores):
+            if core.has_blocked_request and core.retry_blocked(self.now):
+                self._schedule_core(index)
+                progressed = True
+        if progressed:
+            self._schedule_controller()
+        return progressed
+
+    def _raise_deadlock(self) -> None:
+        blocked = [c.core_id for c in self.cores if c.has_blocked_request]
+        unfinished = [c.core_id for c in self.cores if not c.finished]
+        raise SimulationDeadlockError(
+            f"simulation wedged at cycle {self.now:.0f}: no schedulable events, "
+            f"unfinished cores {unfinished}, blocked cores {blocked}, "
+            f"controller pending requests {self.controller.pending_requests()}"
+        )

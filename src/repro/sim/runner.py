@@ -30,15 +30,29 @@ from repro.mitigations.para import PARA
 from repro.mitigations.rega import REGA
 from repro.sim.system import SimulationResult, System, SystemConfig
 
-#: Mitigation name -> factory taking the RowHammer threshold.
+#: The single source of truth: mitigation name -> mechanism class.  The CLI,
+#: the sweep executor and the benchmark harnesses all resolve names here.
+MITIGATION_REGISTRY: Dict[str, type] = {
+    "none": NoMitigation,
+    "comet": CoMeT,
+    "graphene": Graphene,
+    "hydra": Hydra,
+    "rega": REGA,
+    "para": PARA,
+    "blockhammer": BlockHammer,
+}
+
+
+def _registry_factory(cls: type) -> Callable[[int], RowHammerMitigation]:
+    if cls is NoMitigation:
+        return lambda nrh: NoMitigation()
+    return lambda nrh: cls(nrh)
+
+
+#: Mitigation name -> factory taking the RowHammer threshold (derived from
+#: :data:`MITIGATION_REGISTRY`; kept for callers that want a callable).
 MITIGATION_FACTORIES: Dict[str, Callable[[int], RowHammerMitigation]] = {
-    "none": lambda nrh: NoMitigation(),
-    "comet": lambda nrh: CoMeT(nrh),
-    "graphene": lambda nrh: Graphene(nrh),
-    "hydra": lambda nrh: Hydra(nrh),
-    "rega": lambda nrh: REGA(nrh),
-    "para": lambda nrh: PARA(nrh),
-    "blockhammer": lambda nrh: BlockHammer(nrh),
+    name: _registry_factory(cls) for name, cls in MITIGATION_REGISTRY.items()
 }
 
 
@@ -47,25 +61,16 @@ def build_mitigation(name: str, nrh: int, **overrides) -> RowHammerMitigation:
 
     ``overrides`` are forwarded to the mechanism's constructor for the
     sensitivity sweeps (e.g. ``config=CoMeTConfig(...)`` for Figures 6-9).
+    The unprotected baseline takes no parameters, so it ignores them.
     """
-    if name not in MITIGATION_FACTORIES:
+    if name not in MITIGATION_REGISTRY:
         raise ValueError(
-            f"unknown mitigation {name!r}; known: {sorted(MITIGATION_FACTORIES)}"
+            f"unknown mitigation {name!r}; known: {sorted(MITIGATION_REGISTRY)}"
         )
-    if overrides:
-        constructors = {
-            "none": NoMitigation,
-            "comet": CoMeT,
-            "graphene": Graphene,
-            "hydra": Hydra,
-            "rega": REGA,
-            "para": PARA,
-            "blockhammer": BlockHammer,
-        }
-        if name == "none":
-            return NoMitigation()
-        return constructors[name](nrh, **overrides)
-    return MITIGATION_FACTORIES[name](nrh)
+    cls = MITIGATION_REGISTRY[name]
+    if cls is NoMitigation:
+        return NoMitigation()
+    return cls(nrh, **overrides)
 
 
 def default_experiment_config(

@@ -1,0 +1,366 @@
+"""Parallel design-space sweep executor with on-disk result caching.
+
+The paper's evaluation is hundreds of simulator runs — per-figure sweeps over
+mitigations, RowHammer thresholds and counter-table parameters.  This module
+turns one such sweep into a declarative list of :class:`SweepPoint` objects
+and executes them through :class:`SweepRunner`, which
+
+* fans points out across worker processes
+  (:class:`concurrent.futures.ProcessPoolExecutor`), and
+* memoizes each point's :class:`~repro.sim.system.SimulationResult` on disk,
+  keyed by a content hash of the *entire* configuration (workload, trace
+  length, mitigation + overrides, DRAM config, core config and a code
+  version), so re-running a figure after editing an unrelated experiment is
+  free.
+
+Results are deterministic: a point's trace is derived from a process-stable
+seed (see :mod:`repro.workloads.synthetic`), so the same point produces a
+bit-identical ``SimulationResult`` whether it ran inline, in a worker
+process, or came from the cache.  EXPERIMENTS.md documents the cache layout
+and the environment knobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cpu.core import CoreConfig
+from repro.dram.config import DRAMConfig
+from repro.sim.runner import (
+    default_experiment_config,
+    run_multi_core,
+    run_single_core,
+)
+from repro.sim.system import SimulationResult
+from repro.workloads.suite import build_multicore_traces, build_trace
+
+#: Bump when simulation semantics change in a way that invalidates cached
+#: results (scheduler behaviour, trace generation, statistics definitions).
+SWEEP_CACHE_VERSION = 1
+
+_CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a design-space sweep.
+
+    ``mitigation_overrides`` are forwarded to the mechanism's constructor
+    exactly like :func:`repro.sim.runner.build_mitigation` does (e.g.
+    ``{"config": CoMeTConfig(...)}`` for the Figure 6-9 sensitivity sweeps).
+    """
+
+    workload: str
+    mitigation: str
+    nrh: int
+    num_requests: int = 8000
+    num_cores: int = 1
+    seed: int = 0
+    verify_security: bool = True
+    mitigation_overrides: Optional[Dict[str, Any]] = None
+
+    def label(self) -> str:
+        return f"{self.workload}/{self.mitigation}@{self.nrh}"
+
+
+#: Per-process memo of built traces: rebuilding the same multi-thousand-entry
+#: synthetic trace for every mitigation x NRH cell of a sweep is pure wasted
+#: RNG/address-mapping work (traces are read-only during simulation).
+_TRACE_CACHE: Dict[Tuple, Any] = {}
+_TRACE_CACHE_MAX = 64
+
+
+def _cached_traces(point: SweepPoint, dram_config: DRAMConfig):
+    key = (
+        point.workload,
+        point.num_requests,
+        point.num_cores,
+        point.seed,
+        repr(dram_config),
+    )
+    if key not in _TRACE_CACHE:
+        if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        if point.num_cores > 1:
+            built = build_multicore_traces(
+                point.workload,
+                num_cores=point.num_cores,
+                num_requests=point.num_requests,
+                dram_config=dram_config,
+                seed=point.seed,
+            )
+        else:
+            built = build_trace(
+                point.workload,
+                num_requests=point.num_requests,
+                dram_config=dram_config,
+                seed=point.seed,
+            )
+        _TRACE_CACHE[key] = built
+    return _TRACE_CACHE[key]
+
+
+def execute_point(
+    point: SweepPoint,
+    dram_config: Optional[DRAMConfig] = None,
+    core_config: Optional[CoreConfig] = None,
+) -> SimulationResult:
+    """Run one sweep point to completion on the event-driven engine."""
+    dram_config = dram_config or default_experiment_config()
+    if point.num_cores > 1:
+        traces = _cached_traces(point, dram_config)
+        return run_multi_core(
+            traces,
+            point.mitigation,
+            nrh=point.nrh,
+            dram_config=dram_config,
+            core_config=core_config,
+            mitigation_overrides=point.mitigation_overrides,
+            verify_security=point.verify_security,
+            name=f"{point.workload}_x{point.num_cores}",
+        )
+    trace = _cached_traces(point, dram_config)
+    return run_single_core(
+        trace,
+        point.mitigation,
+        nrh=point.nrh,
+        dram_config=dram_config,
+        core_config=core_config,
+        mitigation_overrides=point.mitigation_overrides,
+        verify_security=point.verify_security,
+    )
+
+
+def point_cache_key(
+    point: SweepPoint,
+    dram_config: Optional[DRAMConfig],
+    core_config: Optional[CoreConfig],
+) -> str:
+    """Content hash identifying one point's full configuration.
+
+    Dataclass ``repr``s are deterministic and cover every field recursively,
+    so any change to the DRAM organization/timing, the core model, the
+    mitigation overrides or the point itself yields a new key.
+    """
+    material = "|".join(
+        (
+            f"v{SWEEP_CACHE_VERSION}",
+            repr(point),
+            repr(dram_config),
+            repr(core_config),
+        )
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """Pickle-per-result on-disk cache, keyed by configuration hash."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except Exception:
+            # Unpickling corrupt/stale bytes can raise nearly anything
+            # (UnpicklingError, ValueError, ImportError, ...); any failure
+            # here just means re-simulating the point.
+            self.misses += 1
+            return None
+        if not isinstance(result, SimulationResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        # Write-then-rename so a crashed worker never leaves a torn file
+        # behind for another process to load.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(_CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+def _worker_run(
+    args: Tuple[SweepPoint, Optional[DRAMConfig], Optional[CoreConfig]]
+) -> SimulationResult:
+    point, dram_config, core_config = args
+    return execute_point(point, dram_config=dram_config, core_config=core_config)
+
+
+class SweepRunner:
+    """Execute a list of sweep points, in parallel, through the result cache.
+
+    Parameters
+    ----------
+    dram_config:
+        DRAM configuration shared by every point (default: the scaled
+        experiment configuration).
+    max_workers:
+        Worker processes to fan misses across.  ``0`` or ``1`` runs inline
+        (no subprocesses); ``None`` uses ``os.cpu_count()``.
+    cache_dir:
+        Result cache directory.  ``None`` uses ``$REPRO_SWEEP_CACHE`` or
+        ``~/.cache/repro/sweeps``; pass ``use_cache=False`` to disable
+        caching entirely.
+    """
+
+    def __init__(
+        self,
+        dram_config: Optional[DRAMConfig] = None,
+        core_config: Optional[CoreConfig] = None,
+        max_workers: Optional[int] = None,
+        cache_dir: Optional[Path] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.dram_config = dram_config or default_experiment_config()
+        self.core_config = core_config
+        self.max_workers = (os.cpu_count() or 1) if max_workers is None else max_workers
+        self.cache: Optional[SweepCache] = (
+            SweepCache(cache_dir or default_cache_dir()) if use_cache else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        points: Sequence[SweepPoint],
+        progress: Optional[Callable[[SweepPoint, SimulationResult, bool], None]] = None,
+    ) -> List[SimulationResult]:
+        """Run every point; results come back in input order.
+
+        ``progress`` (if given) is called as ``progress(point, result,
+        from_cache)`` as each result lands (completion order for computed
+        points).  Each computed point is written to the cache the moment it
+        completes, so interrupting a long sweep keeps the finished points.
+        """
+        results: List[Optional[SimulationResult]] = [None] * len(points)
+        pending: List[int] = []
+        for index, point in enumerate(points):
+            cached = self._cache_get(point)
+            if cached is not None:
+                results[index] = cached
+                if progress is not None:
+                    progress(point, cached, True)
+            else:
+                pending.append(index)
+
+        def finish(index: int, result: SimulationResult) -> None:
+            self._cache_put(points[index], result)
+            results[index] = result
+            if progress is not None:
+                progress(points[index], result, False)
+
+        if self.max_workers <= 1 or len(pending) == 1:
+            for index in pending:
+                finish(
+                    index,
+                    execute_point(
+                        points[index],
+                        dram_config=self.dram_config,
+                        core_config=self.core_config,
+                    ),
+                )
+        elif pending:
+            workers = min(self.max_workers, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(
+                        _worker_run,
+                        (points[index], self.dram_config, self.core_config),
+                    ): index
+                    for index in pending
+                }
+                for future in as_completed(futures):
+                    finish(futures[future], future.result())
+        return list(results)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------ #
+    # Cache plumbing
+    # ------------------------------------------------------------------ #
+    def _key(self, point: SweepPoint) -> str:
+        return point_cache_key(point, self.dram_config, self.core_config)
+
+    def _cache_get(self, point: SweepPoint) -> Optional[SimulationResult]:
+        if self.cache is None:
+            return None
+        return self.cache.get(self._key(point))
+
+    def _cache_put(self, point: SweepPoint, result: SimulationResult) -> None:
+        if self.cache is not None:
+            self.cache.put(self._key(point), result)
+
+    # ------------------------------------------------------------------ #
+    # Grid construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def grid(
+        workloads: Sequence[str],
+        mitigations: Sequence[str],
+        nrhs: Sequence[int],
+        num_requests: int = 8000,
+        num_cores: int = 1,
+        include_baseline: bool = True,
+        mitigation_overrides: Optional[Dict[str, Any]] = None,
+    ) -> List[SweepPoint]:
+        """The Figures 6-9 pattern: workload x mitigation x NRH.
+
+        The unprotected baseline (needed by every normalized metric) is
+        threshold-independent, so ``include_baseline`` adds a single
+        ``"none"`` point per workload rather than one per threshold, pinned
+        at ``nrh=1`` so its cache key is the same regardless of the swept
+        threshold list (the benchmark harnesses use the same convention).
+        """
+        points: List[SweepPoint] = []
+        for workload in workloads:
+            if include_baseline:
+                points.append(
+                    SweepPoint(
+                        workload=workload,
+                        mitigation="none",
+                        nrh=1,
+                        num_requests=num_requests,
+                        num_cores=num_cores,
+                        verify_security=False,
+                    )
+                )
+            for mitigation in mitigations:
+                if mitigation == "none":
+                    continue
+                for nrh in nrhs:
+                    points.append(
+                        SweepPoint(
+                            workload=workload,
+                            mitigation=mitigation,
+                            nrh=nrh,
+                            num_requests=num_requests,
+                            num_cores=num_cores,
+                            mitigation_overrides=mitigation_overrides,
+                        )
+                    )
+        return points

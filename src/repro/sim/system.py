@@ -1,11 +1,12 @@
 """Full-system simulation: cores + LLC + memory controller + DRAM + mitigation.
 
-The simulation is event-driven: at each step the system advances directly to
-the earliest of (a) the next cycle a core wants to inject a request and
-(b) the earliest cycle the memory controller can issue a DRAM command, so no
-time is spent iterating over idle cycles.  This is what makes a pure-Python
-reproduction of a cycle-accurate evaluation tractable (the repro-band note on
-simulation speed).
+The simulation is event-driven: cores, the memory controller and the
+mitigation register timestamped events on the min-heap kernel of
+:mod:`repro.sim.engine`, and the system advances directly from event to
+event, so no time is spent iterating over idle cycles or re-scanning idle
+components.  This is what makes a pure-Python reproduction of a
+cycle-accurate evaluation tractable (the repro-band note on simulation
+speed).
 
 A run produces a :class:`SimulationResult` carrying per-core IPC, memory
 latency statistics, DRAM command counts, the energy breakdown, the
@@ -26,8 +27,7 @@ from repro.cpu.trace import Trace
 from repro.dram.config import DRAMConfig
 from repro.energy.model import DRAMEnergyModel, EnergyBreakdown
 from repro.mitigations.base import RowHammerMitigation
-
-_INFINITY = math.inf
+from repro.sim.engine import EventKernel
 
 
 @dataclass
@@ -138,56 +138,21 @@ class System:
     # Main loop
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
-        """Run to completion (all traces replayed, all queues drained)."""
-        now = 0.0
-        max_steps = self.config.max_steps
-        while self._steps < max_steps:
-            if self._all_done():
-                break
-            self._steps += 1
-            # Give blocked cores a chance to re-enqueue rejected requests.
-            for core in self.cores:
-                if core.has_blocked_request:
-                    core.retry_blocked(now)
+        """Run to completion (all traces replayed, all queues drained).
 
-            core_cycle, next_core = self._next_core_event()
-            controller_cycle = self.controller.next_issue_cycle(int(math.ceil(now)))
-            controller_time = (
-                float(controller_cycle) if controller_cycle is not None else _INFINITY
-            )
-
-            if core_cycle is _INFINITY and controller_time is _INFINITY:
-                if self._all_done():
-                    break
-                # Cores are blocked on memory and the controller has no work:
-                # this can only happen transiently while a blocked request
-                # waits for queue space; nudge time forward by one cycle.
-                now += 1.0
-                continue
-
-            if core_cycle <= controller_time:
-                now = max(now, core_cycle)
-                next_core.step(now)
-            else:
-                issued = self.controller.issue_next(int(math.ceil(controller_time)))
-                now = max(now, float(issued if issued is not None else controller_time))
-
+        The heavy lifting lives in :class:`repro.sim.engine.EventKernel`:
+        cores, the controller and the mitigation all register timestamped
+        events on one min-heap, so each processed event costs O(log n)
+        instead of a rescan of every component.
+        """
+        kernel = EventKernel(
+            self.cores, self.controller, max_steps=self.config.max_steps
+        )
+        now = kernel.run()
+        self._steps = kernel.steps
         final_cycle = self.controller.drain(int(math.ceil(now)))
         final_cycle = max(final_cycle, int(math.ceil(now)))
         return self._build_result(final_cycle)
-
-    def _next_core_event(self):
-        best_cycle = _INFINITY
-        best_core = None
-        for core in self.cores:
-            cycle = core.next_event_cycle()
-            if cycle < best_cycle:
-                best_cycle = cycle
-                best_core = core
-        return best_cycle, best_core
-
-    def _all_done(self) -> bool:
-        return all(core.finished for core in self.cores) and not self.controller.has_work()
 
     # ------------------------------------------------------------------ #
     # Result assembly

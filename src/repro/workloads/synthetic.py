@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -93,7 +94,11 @@ class SyntheticWorkloadGenerator:
         if num_requests <= 0:
             raise ValueError("num_requests must be positive")
         spec = self.spec
-        rng = random.Random((hash(spec.name) & 0xFFFF_FFFF) ^ (self.seed * 0x9E3779B1))
+        # zlib.crc32, not hash(): str hashing is salted per process
+        # (PYTHONHASHSEED), which would give every process — and every sweep
+        # worker — a different trace for the same (workload, seed) pair.
+        name_hash = zlib.crc32(spec.name.encode("utf-8"))
+        rng = random.Random((name_hash & 0xFFFF_FFFF) ^ (self.seed * 0x9E3779B1))
         org = self.dram_config.organization
 
         all_banks = self.mapper.all_bank_indices()

@@ -1,0 +1,236 @@
+"""Tests for the event-driven simulation kernel (:mod:`repro.sim.engine`)."""
+
+import math
+
+import pytest
+
+from repro.controller.controller import MemoryController
+from repro.cpu.trace import Trace
+from repro.sim.engine import EventKernel, SimulationDeadlockError
+from repro.sim.system import System, SystemConfig
+
+
+def _linear_trace(n=64, bubbles=10, stride=0x40, name="lin"):
+    return Trace.from_tuples([(bubbles, stride * i) for i in range(n)], name=name)
+
+
+@pytest.fixture
+def system(tiny_dram_config):
+    trace = _linear_trace()
+    return System(
+        [trace], config=SystemConfig(dram=tiny_dram_config, verify_security=False)
+    )
+
+
+class TestEventOrdering:
+    def test_time_never_goes_backwards(self, tiny_dram_config):
+        trace = _linear_trace(n=200, bubbles=3)
+        system = System(
+            [trace], config=SystemConfig(dram=tiny_dram_config, verify_security=False)
+        )
+        kernel = EventKernel(system.cores, system.controller)
+        times = []
+        original = kernel._pop_live
+
+        def recording_pop():
+            entry = original()
+            if entry is not None:
+                times.append(max(kernel.now, entry[0]))
+            return entry
+
+        kernel._pop_live = recording_pop
+        kernel.run()
+        assert times == sorted(times)
+        assert system.cores[0].finished
+
+    def test_cores_win_ties_against_controller(self):
+        # Priorities are what encode the seed scheduler's `core <= controller`
+        # tie-break; the heap entries must sort cores first at equal times.
+        import heapq
+
+        from repro.sim.engine import _PRIORITY_CONTROLLER, _PRIORITY_CORE
+
+        heap = []
+        heapq.heappush(heap, (10.0, _PRIORITY_CONTROLLER, -1, 0))
+        heapq.heappush(heap, (10.0, _PRIORITY_CORE, 0, 0))
+        assert heapq.heappop(heap)[1] == _PRIORITY_CORE
+
+    def test_lowest_core_id_wins_ties(self, tiny_dram_config):
+        traces = [_linear_trace(name="a"), _linear_trace(name="b")]
+        system = System(
+            traces, config=SystemConfig(dram=tiny_dram_config, verify_security=False)
+        )
+        kernel = EventKernel(system.cores, system.controller)
+        first_core_events = []
+        original = kernel._pop_live
+
+        def recording_pop():
+            entry = original()
+            if entry is not None and entry[1] == 0:
+                first_core_events.append(entry)
+            return entry
+
+        kernel._pop_live = recording_pop
+        kernel.run()
+        # Both cores issue their first dispatch at the same cycle; core 0 first.
+        first_time = first_core_events[0][0]
+        same_time = [e for e in first_core_events if e[0] == first_time]
+        assert [e[2] for e in same_time] == sorted(e[2] for e in same_time)
+
+    def test_run_is_deterministic(self, tiny_dram_config):
+        def run_once():
+            trace = _linear_trace(n=300, bubbles=2)
+            system = System(
+                [trace],
+                config=SystemConfig(dram=tiny_dram_config, verify_security=False),
+            )
+            return system.run()
+
+        first, second = run_once(), run_once()
+        assert first.summary() == second.summary()
+        assert first.per_core_ipc == second.per_core_ipc
+        assert first.steps == second.steps
+
+
+class TestScheduledCallbacks:
+    def test_mitigation_style_callback_fires_at_cycle(self, system):
+        kernel = EventKernel(system.cores, system.controller)
+        fired = []
+        kernel.schedule(50, lambda now: fired.append(now))
+        kernel.run()
+        assert len(fired) == 1
+        assert fired[0] >= 50.0
+
+    def test_callback_in_past_clamps_to_now(self, system):
+        kernel = EventKernel(system.cores, system.controller)
+        fired = []
+
+        def late_registration(now):
+            kernel.schedule(0, lambda inner_now: fired.append((now, inner_now)))
+
+        kernel.schedule(40, late_registration)
+        kernel.run()
+        assert len(fired) == 1
+        registered_at, fired_at = fired[0]
+        assert fired_at >= registered_at
+
+    def test_mitigation_register_events_hook_called(self, tiny_dram_config):
+        from repro.mitigations.para import PARA
+
+        calls = []
+
+        class EventfulPARA(PARA):
+            def register_events(self, kernel):
+                calls.append(kernel)
+
+        trace = _linear_trace()
+        system = System(
+            [trace],
+            mitigation=EventfulPARA(125),
+            config=SystemConfig(dram=tiny_dram_config, verify_security=False),
+        )
+        system.run()
+        assert len(calls) == 1
+        assert isinstance(calls[0], EventKernel)
+
+
+class TestStallPaths:
+    """Regression tests for the blocked-core/empty-controller stall.
+
+    The seed loop papered over this state with a one-cycle time nudge
+    (``now += 1.0``); the kernel must instead terminate on it provably —
+    recovering when a retry can succeed and raising when nothing can move.
+    """
+
+    def test_transient_enqueue_rejection_recovers(self, tiny_dram_config, monkeypatch):
+        # Reject the very first enqueue: the core blocks while the controller
+        # holds no work at all — exactly the state the nudge used to paper
+        # over.  The kernel's stall recovery must retry and run to completion.
+        real_enqueue = MemoryController.enqueue
+        rejected = {"count": 0}
+
+        def flaky_enqueue(self, request, cycle):
+            if rejected["count"] == 0:
+                rejected["count"] += 1
+                return False
+            return real_enqueue(self, request, cycle)
+
+        monkeypatch.setattr(MemoryController, "enqueue", flaky_enqueue)
+        trace = _linear_trace(n=32)
+        system = System(
+            [trace], config=SystemConfig(dram=tiny_dram_config, verify_security=False)
+        )
+        result = system.run()
+        assert rejected["count"] == 1
+        assert result.per_core_instructions[0] == trace.total_instructions
+        assert system.cores[0].finished
+
+    def test_permanent_rejection_raises_instead_of_spinning(
+        self, tiny_dram_config, monkeypatch
+    ):
+        monkeypatch.setattr(
+            MemoryController, "enqueue", lambda self, request, cycle: False
+        )
+        trace = _linear_trace(n=4)
+        system = System(
+            [trace], config=SystemConfig(dram=tiny_dram_config, verify_security=False)
+        )
+        with pytest.raises(SimulationDeadlockError, match="wedged"):
+            system.run()
+
+    def test_deadlock_error_names_blocked_cores(self, tiny_dram_config, monkeypatch):
+        monkeypatch.setattr(
+            MemoryController, "enqueue", lambda self, request, cycle: False
+        )
+        trace = _linear_trace(n=4)
+        system = System(
+            [trace], config=SystemConfig(dram=tiny_dram_config, verify_security=False)
+        )
+        with pytest.raises(SimulationDeadlockError, match=r"blocked cores \[0\]"):
+            system.run()
+
+
+class TestKernelResults:
+    def test_steps_counted_and_bounded(self, tiny_dram_config):
+        trace = _linear_trace(n=64)
+        system = System(
+            [trace], config=SystemConfig(dram=tiny_dram_config, verify_security=False)
+        )
+        result = system.run()
+        assert 0 < result.steps < 10_000
+
+    def test_max_steps_stops_the_run(self, tiny_dram_config):
+        trace = _linear_trace(n=2000, bubbles=1)
+        config = SystemConfig(dram=tiny_dram_config, verify_security=False, max_steps=10)
+        system = System([trace], config=config)
+        result = system.run()
+        assert result.steps == 10
+        assert not system.cores[0].finished
+
+    def test_cached_controller_decision_matches_recompute(self, tiny_dram_config):
+        """The decision cached at schedule time must issue at the cycle the
+        freshly recomputed decision would (see controller.next_decision)."""
+        trace = _linear_trace(n=400, bubbles=1)
+
+        def run(force_recheck: bool):
+            system = System(
+                [trace],
+                config=SystemConfig(dram=tiny_dram_config, verify_security=False),
+            )
+            kernel = EventKernel(system.cores, system.controller)
+            if force_recheck:
+                original = kernel._schedule_controller
+
+                def always_recheck():
+                    original()
+                    kernel._controller_recheck = True
+
+                kernel._schedule_controller = always_recheck
+            final = kernel.run()
+            final_cycle = system.controller.drain(int(math.ceil(final)))
+            return system._build_result(max(final_cycle, int(math.ceil(final))))
+
+        cached = run(force_recheck=False)
+        recomputed = run(force_recheck=True)
+        assert cached.summary() == recomputed.summary()
+        assert cached.dram_stats == recomputed.dram_stats

@@ -1,0 +1,191 @@
+"""Tests for the design-space sweep executor (:mod:`repro.sim.sweep`)."""
+
+import pytest
+
+from repro.core.config import CoMeTConfig
+from repro.sim.runner import run_single_core
+from repro.sim.sweep import (
+    SweepCache,
+    SweepPoint,
+    SweepRunner,
+    execute_point,
+    point_cache_key,
+)
+from repro.workloads.suite import build_trace
+
+REQUESTS = 400
+
+
+@pytest.fixture
+def runner(tiny_dram_config, tmp_path):
+    return SweepRunner(
+        dram_config=tiny_dram_config, max_workers=0, cache_dir=tmp_path / "cache"
+    )
+
+
+def _points():
+    return SweepRunner.grid(
+        workloads=["429.mcf"],
+        mitigations=["comet", "para"],
+        nrhs=[1000, 125],
+        num_requests=REQUESTS,
+    )
+
+
+class TestGrid:
+    def test_grid_shape(self):
+        points = _points()
+        # 1 baseline + 2 mitigations x 2 thresholds.
+        assert len(points) == 5
+        assert sum(1 for p in points if p.mitigation == "none") == 1
+
+    def test_baseline_not_verified(self):
+        baseline = next(p for p in _points() if p.mitigation == "none")
+        assert baseline.verify_security is False
+
+    def test_grid_skips_explicit_none(self):
+        points = SweepRunner.grid(
+            workloads=["429.mcf"], mitigations=["none", "comet"], nrhs=[125]
+        )
+        assert sum(1 for p in points if p.mitigation == "none") == 1
+
+
+class TestExecutePoint:
+    def test_matches_direct_runner_call(self, tiny_dram_config):
+        point = SweepPoint(
+            workload="429.mcf", mitigation="comet", nrh=125, num_requests=REQUESTS
+        )
+        via_sweep = execute_point(point, dram_config=tiny_dram_config)
+        trace = build_trace("429.mcf", num_requests=REQUESTS, dram_config=tiny_dram_config)
+        direct = run_single_core(trace, "comet", nrh=125, dram_config=tiny_dram_config)
+        assert via_sweep.summary() == direct.summary()
+        assert via_sweep.per_core_ipc == direct.per_core_ipc
+
+    def test_multicore_point(self, tiny_dram_config):
+        point = SweepPoint(
+            workload="462.libquantum",
+            mitigation="comet",
+            nrh=250,
+            num_requests=200,
+            num_cores=2,
+        )
+        result = execute_point(point, dram_config=tiny_dram_config)
+        assert len(result.per_core_ipc) == 2
+        assert result.name == "462.libquantum_x2"
+
+    def test_overrides_forwarded(self, tiny_dram_config):
+        point = SweepPoint(
+            workload="429.mcf",
+            mitigation="comet",
+            nrh=125,
+            num_requests=REQUESTS,
+            mitigation_overrides={"config": CoMeTConfig(nrh=125, rat_entries=64)},
+        )
+        result = execute_point(point, dram_config=tiny_dram_config)
+        assert result.mitigation_name == "comet"
+
+
+class TestCacheKey:
+    def test_key_stable(self, tiny_dram_config):
+        point = SweepPoint(workload="429.mcf", mitigation="comet", nrh=125)
+        assert point_cache_key(point, tiny_dram_config, None) == point_cache_key(
+            point, tiny_dram_config, None
+        )
+
+    def test_key_covers_every_field(self, tiny_dram_config, small_dram_config):
+        base = SweepPoint(workload="429.mcf", mitigation="comet", nrh=125)
+        variants = [
+            SweepPoint(workload="502.gcc", mitigation="comet", nrh=125),
+            SweepPoint(workload="429.mcf", mitigation="para", nrh=125),
+            SweepPoint(workload="429.mcf", mitigation="comet", nrh=250),
+            SweepPoint(workload="429.mcf", mitigation="comet", nrh=125, num_requests=999),
+            SweepPoint(workload="429.mcf", mitigation="comet", nrh=125, num_cores=2),
+            SweepPoint(workload="429.mcf", mitigation="comet", nrh=125, seed=7),
+            SweepPoint(
+                workload="429.mcf",
+                mitigation="comet",
+                nrh=125,
+                mitigation_overrides={"config": CoMeTConfig(nrh=125, num_hashes=2)},
+            ),
+        ]
+        base_key = point_cache_key(base, tiny_dram_config, None)
+        keys = {point_cache_key(v, tiny_dram_config, None) for v in variants}
+        keys.add(point_cache_key(base, small_dram_config, None))
+        assert base_key not in keys
+        assert len(keys) == len(variants) + 1
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"not a pickle",  # UnpicklingError
+            b"garbage\n",  # ValueError (pickle raises almost anything)
+            __import__("pickle").dumps({"not": "a result"}),  # wrong type
+        ],
+    )
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path, payload):
+        cache = SweepCache(tmp_path)
+        key = "0" * 64
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        (cache.directory / f"{key}.pkl").write_bytes(payload)
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+
+class TestSweepRunner:
+    def test_results_in_input_order(self, runner):
+        points = _points()
+        results = runner.run(points)
+        assert len(results) == len(points)
+        for point, result in zip(points, results):
+            assert result.mitigation_name == point.mitigation
+
+    def test_cache_round_trip_is_identical(self, runner):
+        points = _points()
+        first = runner.run(points)
+        assert runner.cache.hits == 0
+        second = runner.run(points)
+        assert runner.cache.hits == len(points)
+        assert [r.summary() for r in first] == [r.summary() for r in second]
+        assert [r.per_core_ipc for r in first] == [r.per_core_ipc for r in second]
+
+    def test_cache_disabled(self, tiny_dram_config):
+        runner = SweepRunner(dram_config=tiny_dram_config, max_workers=0, use_cache=False)
+        assert runner.cache is None
+        results = runner.run(_points()[:2])
+        assert len(results) == 2
+
+    def test_progress_callback_reports_cache_state(self, runner):
+        points = _points()[:2]
+        seen = []
+        runner.run(points, progress=lambda p, r, cached: seen.append((p.label(), cached)))
+        assert [cached for _, cached in seen] == [False, False]
+        seen.clear()
+        runner.run(points, progress=lambda p, r, cached: seen.append((p.label(), cached)))
+        assert [cached for _, cached in seen] == [True, True]
+
+    def test_failing_point_keeps_earlier_points_cached(self, tiny_dram_config, tmp_path):
+        good = SweepPoint("429.mcf", "comet", 125, num_requests=REQUESTS)
+        bad = SweepPoint("no-such-workload", "comet", 125, num_requests=REQUESTS)
+        runner = SweepRunner(
+            dram_config=tiny_dram_config, max_workers=0, cache_dir=tmp_path / "c"
+        )
+        with pytest.raises(KeyError, match="unknown workload"):
+            runner.run([good, bad])
+        rerun = SweepRunner(
+            dram_config=tiny_dram_config, max_workers=0, cache_dir=tmp_path / "c"
+        )
+        rerun.run([good])
+        assert rerun.cache.hits == 1
+
+    @pytest.mark.slow
+    def test_parallel_workers_match_serial_bit_for_bit(self, tiny_dram_config, tmp_path):
+        points = _points()
+        serial = SweepRunner(
+            dram_config=tiny_dram_config, max_workers=0, use_cache=False
+        ).run(points)
+        parallel = SweepRunner(
+            dram_config=tiny_dram_config, max_workers=4, use_cache=False
+        ).run(points)
+        assert [r.summary() for r in serial] == [r.summary() for r in parallel]
+        assert [r.per_core_ipc for r in serial] == [r.per_core_ipc for r in parallel]
+        assert [r.dram_stats for r in serial] == [r.dram_stats for r in parallel]
