@@ -24,7 +24,7 @@ benchmark harness can report "secure / not secure" per mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.dram.address import DRAMAddress
 from repro.dram.dram_system import DRAMSystem

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.area.model import comet_area_report, graphene_area_report, hydra_area_report
@@ -42,6 +42,25 @@ from repro.sim.runner import (
 from repro.sim.sweep import SweepRunner
 from repro.workloads.attacks import traditional_rowhammer_attack
 from repro.workloads.suite import build_trace, workloads_by_category
+
+
+def _channel_count(value: str) -> int:
+    """Argparse type for ``--channels``: a positive power of two.
+
+    The interleaved address mapping slices fixed-width bit fields, so a
+    non-power-of-two channel count would alias coordinates; rejecting it
+    here gives a one-line CLI error instead of a traceback from the
+    geometry validator (possibly inside a sweep worker process).
+    """
+    try:
+        channels = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not an integer") from None
+    if channels < 1 or channels & (channels - 1):
+        raise argparse.ArgumentTypeError(
+            f"channel count must be a positive power of two, got {channels}"
+        )
+    return channels
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
     attack_parser.add_argument(
         "--requests", type=int, default=6000, help="attack trace length"
     )
+    attack_parser.add_argument(
+        "--channels", type=_channel_count, default=1,
+        help="memory channels (fabric width)",
+    )
+    attack_parser.add_argument(
+        "--target-channel", type=int, default=0,
+        help="channel the attack hammers (others stay benign-idle)",
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="run a mitigation x threshold grid through the sweep executor"
@@ -96,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--nrh", type=int, nargs="+", default=[1000, 125], help="RowHammer thresholds"
+    )
+    sweep_parser.add_argument(
+        "--channels", type=_channel_count, nargs="+", default=[1],
+        help="memory channel counts to sweep (fabric width axis)",
     )
     sweep_parser.add_argument(
         "--requests", type=int, default=8000, help="trace length in requests"
@@ -121,6 +152,10 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="429.mcf", help="workload name (see `workloads`)")
     parser.add_argument("--nrh", type=int, default=125, help="RowHammer threshold")
     parser.add_argument("--requests", type=int, default=8000, help="trace length in requests")
+    parser.add_argument(
+        "--channels", type=_channel_count, default=1,
+        help="memory channels (fabric width)",
+    )
 
 
 def _command_workloads(_args: argparse.Namespace) -> str:
@@ -132,7 +167,7 @@ def _command_workloads(_args: argparse.Namespace) -> str:
 
 
 def _command_run(args: argparse.Namespace) -> str:
-    dram_config = default_experiment_config()
+    dram_config = default_experiment_config(channels=args.channels)
     trace = build_trace(args.workload, num_requests=args.requests, dram_config=dram_config)
     baseline = run_single_core(trace, "none", nrh=args.nrh, dram_config=dram_config)
     result = run_single_core(trace, args.mitigation, nrh=args.nrh, dram_config=dram_config)
@@ -152,7 +187,7 @@ def _command_run(args: argparse.Namespace) -> str:
 
 
 def _command_compare(args: argparse.Namespace) -> str:
-    dram_config = default_experiment_config()
+    dram_config = default_experiment_config(channels=args.channels)
     trace = build_trace(args.workload, num_requests=args.requests, dram_config=dram_config)
     baseline = run_single_core(trace, "none", nrh=args.nrh, dram_config=dram_config)
     rows = []
@@ -174,9 +209,17 @@ def _command_compare(args: argparse.Namespace) -> str:
 
 
 def _command_attack(args: argparse.Namespace) -> str:
-    dram_config = default_experiment_config()
+    if not 0 <= args.target_channel < args.channels:
+        raise SystemExit(
+            f"--target-channel {args.target_channel} is out of range for "
+            f"--channels {args.channels} (valid: 0..{args.channels - 1})"
+        )
+    dram_config = default_experiment_config(channels=args.channels)
     attack = traditional_rowhammer_attack(
-        num_requests=args.requests, dram_config=dram_config, aggressor_rows_per_bank=2
+        num_requests=args.requests,
+        dram_config=dram_config,
+        aggressor_rows_per_bank=2,
+        channel=args.target_channel,
     )
     result = run_single_core(attack, args.mitigation, nrh=args.nrh, dram_config=dram_config)
     rows = [
@@ -197,6 +240,7 @@ def _command_sweep(args: argparse.Namespace) -> str:
         mitigations=args.mitigations,
         nrhs=args.nrh,
         num_requests=args.requests,
+        channels=args.channels,
     )
     runner = SweepRunner(
         max_workers=args.workers,
@@ -205,7 +249,7 @@ def _command_sweep(args: argparse.Namespace) -> str:
     )
     results = runner.run(points)
     baselines = {
-        point.workload: result
+        (point.workload, point.channels): result
         for point, result in zip(points, results)
         if point.mitigation == "none"
     }
@@ -213,12 +257,13 @@ def _command_sweep(args: argparse.Namespace) -> str:
     for point, result in zip(points, results):
         if point.mitigation == "none":
             continue
-        baseline = baselines[point.workload]
+        baseline = baselines[(point.workload, point.channels)]
         rows.append(
             {
                 "workload": point.workload,
                 "mitigation": point.mitigation,
                 "nrh": point.nrh,
+                "channels": point.channels,
                 "normalized_IPC": round(result.ipc / baseline.ipc, 4) if baseline.ipc else 0.0,
                 "preventive_refreshes": result.preventive_refreshes,
                 "secure": result.security_ok,

@@ -5,14 +5,20 @@ This subpackage models the memory controller of Table 2 in the paper:
 open-page row-buffer policy, periodic refresh management, and the hooks that
 RowHammer mitigations use (preventive-refresh injection, activation
 throttling, mitigation-generated memory traffic).
+
+Multi-channel systems are assembled from channel-scoped controllers by
+:class:`~repro.controller.fabric.ChannelFabric`, which routes requests by
+``DRAMAddress.channel`` and aggregates statistics.
 """
 
 from repro.controller.request import MemoryRequest, RequestType
 from repro.controller.controller import MemoryController, ControllerConfig
+from repro.controller.fabric import ChannelFabric
 
 __all__ = [
     "MemoryRequest",
     "RequestType",
     "MemoryController",
     "ControllerConfig",
+    "ChannelFabric",
 ]

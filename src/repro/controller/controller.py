@@ -31,7 +31,6 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.controller.request import MemoryRequest, RequestType
 from repro.dram.address import AddressMapper, DRAMAddress
-from repro.dram.bank import Bank
 from repro.dram.commands import Command, CommandKind
 from repro.dram.config import DRAMConfig
 from repro.dram.dram_system import DRAMSystem
@@ -87,7 +86,7 @@ class ControllerStatistics:
 
 
 class MemoryController:
-    """One memory channel's controller (the paper simulates a single channel).
+    """One memory controller: all channels (legacy) or a single channel.
 
     Parameters
     ----------
@@ -101,6 +100,13 @@ class MemoryController:
         mitigation may rewrite the DRAM config (REGA), observe activations,
         schedule preventive refreshes, inject its own memory traffic (Hydra)
         and throttle activations (BlockHammer).
+    channel:
+        When given, the controller is channel-scoped: it owns only that
+        channel's DRAM ranks, schedules only that channel's refreshes, and
+        expects every enqueued request to target that channel.  ``None``
+        (the default) keeps the monolithic all-channel behaviour used by
+        direct unit tests; the :class:`~repro.controller.fabric.ChannelFabric`
+        always builds channel-scoped controllers.
     """
 
     def __init__(
@@ -108,24 +114,33 @@ class MemoryController:
         dram_config: DRAMConfig,
         config: Optional[ControllerConfig] = None,
         mitigation=None,
+        channel: Optional[int] = None,
     ) -> None:
         self.config = config or ControllerConfig()
         self.mitigation = mitigation
+        self.channel = channel
         if mitigation is not None:
             dram_config = mitigation.adjust_dram_config(dram_config)
         self.dram_config = dram_config
-        self.dram = DRAMSystem(dram_config)
+        self.dram = DRAMSystem(dram_config, channel=channel)
         self.mapper = AddressMapper(dram_config)
         self.stats = ControllerStatistics()
+        #: Monotonic count of scheduler-visible state changes (enqueues,
+        #: issues, request retirements, owed extra refreshes).  The event
+        #: kernel compares snapshots of this counter to prove an idle
+        #: channel's cached (non-)decision is still valid without re-running
+        #: command selection.
+        self.mutations = 0
 
         self.read_queue: List[MemoryRequest] = []
         self.write_queue: List[MemoryRequest] = []
         self.preventive_queue: List[MemoryRequest] = []
 
         org = dram_config.organization
+        channels = range(org.channels) if channel is None else (channel,)
         self._rank_keys = [
-            (channel, rank)
-            for channel in range(org.channels)
+            (ch, rank)
+            for ch in channels
             for rank in range(org.ranks_per_channel)
         ]
         # Stagger periodic refreshes across ranks so they do not collide.
@@ -155,6 +170,7 @@ class MemoryController:
 
     def enqueue(self, request: MemoryRequest, cycle: int) -> bool:
         """Add a request to the appropriate queue; returns False when full."""
+        self.mutations += 1
         request.arrival_cycle = cycle
         if request.request_type is RequestType.READ:
             if len(self.read_queue) >= self.config.read_queue_size:
@@ -189,6 +205,7 @@ class MemoryController:
 
     def schedule_rank_refresh(self, channel: int, rank: int, count: int) -> None:
         """Queue ``count`` extra rank-level REF commands (early preventive refresh)."""
+        self.mutations += 1
         self.extra_rank_refreshes[(channel, rank)] += count
         self.stats.early_refresh_operations += 1
 
@@ -252,6 +269,7 @@ class MemoryController:
     ) -> int:
         """Issue a decision produced by :meth:`next_decision`; returns its cycle."""
         issue_cycle, command, request = decision
+        self.mutations += 1
         self.current_cycle = issue_cycle
         result = self.dram.issue(command, issue_cycle)
         self._post_issue(command, request, issue_cycle, result)
@@ -375,6 +393,7 @@ class MemoryController:
             if bank.is_closed() or bank.open_row != request.address.row:
                 finished.append(request)
         for request in finished:
+            self.mutations += 1
             self.preventive_queue.remove(request)
             request.complete(cycle)
             self.dram.stats.preventive_refresh_pairs += 1

@@ -19,7 +19,7 @@ that clock domain.  IPC is reported in CPU cycles.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.controller.controller import MemoryController

@@ -17,6 +17,34 @@ from typing import Iterator, List, Sequence, Tuple
 from repro.dram.config import DRAMConfig
 
 
+class _cached_key:
+    """Lock-free per-instance cache for the address key tuples.
+
+    ``functools.cached_property`` would do the same job, but on Python 3.11
+    it takes an RLock on every first access, which measurably *loses* to
+    recomputing these tiny tuples (the lock was removed in 3.12).  This is
+    the lock-free variant: compute once, stash in ``__dict__`` (allowed on a
+    frozen dataclass — only ``__setattr__`` is blocked), and let ordinary
+    attribute lookup find the cached tuple on every later read.  Equality,
+    ordering and hashing are generated from the dataclass fields, so the
+    cache never leaks into them.
+    """
+
+    def __init__(self, func):
+        self._func = func
+        self.__doc__ = func.__doc__
+
+    def __set_name__(self, owner, name) -> None:
+        self._name = name
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        value = self._func(instance)
+        instance.__dict__[self._name] = value
+        return value
+
+
 @dataclass(frozen=True, order=True)
 class DRAMAddress:
     """A fully decoded DRAM coordinate."""
@@ -28,12 +56,17 @@ class DRAMAddress:
     row: int
     column: int
 
-    @property
+    # The keys are cached because the same address object is asked for them
+    # many times: the FR-FCFS scheduler groups every queued request by
+    # ``bank_key`` on *every* command selection while the request waits, and
+    # each ACT's address is interrogated by the mitigation hooks on top.
+
+    @_cached_key
     def bank_key(self) -> Tuple[int, int, int, int]:
         """Globally unique bank identifier (channel, rank, bankgroup, bank)."""
         return (self.channel, self.rank, self.bankgroup, self.bank)
 
-    @property
+    @_cached_key
     def row_key(self) -> Tuple[int, int, int, int, int]:
         """Globally unique row identifier."""
         return (self.channel, self.rank, self.bankgroup, self.bank, self.row)
@@ -44,6 +77,36 @@ def _bits(value: int) -> int:
     if value <= 1:
         return 0
     return (value - 1).bit_length()
+
+
+def validate_mappable_geometry(config: DRAMConfig) -> None:
+    """Check every dimension of the organization is addressable without aliasing.
+
+    The interleaved bit layout slices the physical address into fixed-width
+    fields, so each dimension must be a power of two (or 1): a field of
+    ``ceil(log2(n))`` bits over a non-power-of-two ``n`` would either leave
+    encodings unused or alias two coordinates onto one address, breaking the
+    ``decode(encode(x)) == x`` round-trip the workload generators rely on.
+    """
+    org = config.organization
+    dimensions = {
+        "channels": org.channels,
+        "ranks_per_channel": org.ranks_per_channel,
+        "bankgroups_per_rank": org.bankgroups_per_rank,
+        "banks_per_bankgroup": org.banks_per_bankgroup,
+        "rows_per_bank": org.rows_per_bank,
+        "columns_per_row / columns_per_cacheline": (
+            org.columns_per_row // org.columns_per_cacheline
+        ),
+        "cacheline_bytes": org.cacheline_bytes,
+    }
+    for name, value in dimensions.items():
+        if value < 1 or value & (value - 1):
+            raise ValueError(
+                f"DRAM organization is not address-mappable: {name}={value} "
+                f"is not a power of two, so a {_bits(value)}-bit address field "
+                f"would alias distinct coordinates"
+            )
 
 
 class AddressMapper:
@@ -59,6 +122,7 @@ class AddressMapper:
     """
 
     def __init__(self, config: DRAMConfig) -> None:
+        validate_mappable_geometry(config)
         self.config = config
         org = config.organization
         self._offset_bits = _bits(org.cacheline_bytes)

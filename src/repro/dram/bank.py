@@ -12,7 +12,7 @@ bank-scoped constraints (tRCD, tRAS, tRC, tRP, tRTP, tWR).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.dram.config import DRAMTiming

@@ -174,21 +174,30 @@ def small_test_config(
     bankgroups_per_rank: int = 2,
     ranks_per_channel: int = 1,
     refresh_window_scale: float = 1.0 / 1024.0,
+    channels: int = 1,
 ) -> DRAMConfig:
     """A scaled-down configuration used throughout the test-suite and benches.
 
     The organization is shrunk (fewer banks and rows) and the refresh window
     shortened so that complete refresh windows and counter-reset periods
-    elapse within traces of a few thousand requests.
+    elapse within traces of a few thousand requests.  ``channels`` sizes the
+    channel-partitioned fabric; every dimension must stay a power of two so
+    the address mapping is alias-free (validated here eagerly, so a bad
+    geometry fails at configuration time rather than at trace generation).
     """
     organization = DRAMOrganization(
-        channels=1,
+        channels=channels,
         ranks_per_channel=ranks_per_channel,
         bankgroups_per_rank=bankgroups_per_rank,
         banks_per_bankgroup=banks_per_bankgroup,
         rows_per_bank=rows_per_bank,
     )
-    return DRAMConfig(
+    config = DRAMConfig(
         organization=organization,
         refresh_window_scale=refresh_window_scale,
     )
+    # Imported here to avoid a circular import (address.py imports config).
+    from repro.dram.address import validate_mappable_geometry
+
+    validate_mappable_geometry(config)
+    return config

@@ -17,7 +17,7 @@ coverage and preventive ACT-based refreshes).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.dram.address import DRAMAddress
@@ -193,18 +193,33 @@ class Rank:
 
 
 class DRAMSystem:
-    """The full DRAM device model behind one memory controller."""
+    """The DRAM device model behind one memory controller.
 
-    def __init__(self, config: DRAMConfig) -> None:
+    By default the model owns every channel of the organization (the
+    monolithic single-controller layout).  A channel-partitioned fabric
+    instead builds one :class:`DRAMSystem` per channel by passing
+    ``channel``: the model then owns only that channel's ranks and buses,
+    while addresses keep their true (globally unique) channel coordinate.
+    There are no cross-channel timing constraints in DDR4 — each channel has
+    its own command/data bus and rank set — so the partition is exact.
+    """
+
+    def __init__(self, config: DRAMConfig, channel: Optional[int] = None) -> None:
         self.config = config
         org = config.organization
+        if channel is not None and not 0 <= channel < org.channels:
+            raise ValueError(
+                f"channel {channel} out of range for {org.channels}-channel organization"
+            )
+        self.channel = channel
+        channels = range(org.channels) if channel is None else (channel,)
         self.ranks: Dict[Tuple[int, int], Rank] = {}
-        for channel in range(org.channels):
+        for ch in channels:
             for rank in range(org.ranks_per_channel):
-                self.ranks[(channel, rank)] = Rank(config, channel, rank)
+                self.ranks[(ch, rank)] = Rank(config, ch, rank)
         # One data bus and one command bus per channel.
-        self._data_bus_free: Dict[int, int] = {ch: 0 for ch in range(org.channels)}
-        self._command_bus_free: Dict[int, int] = {ch: 0 for ch in range(org.channels)}
+        self._data_bus_free: Dict[int, int] = {ch: 0 for ch in channels}
+        self._command_bus_free: Dict[int, int] = {ch: 0 for ch in channels}
         self.stats = DRAMStatistics()
         self._activation_observers: List[ActivationObserver] = []
         self._refresh_observers: List[RefreshObserver] = []

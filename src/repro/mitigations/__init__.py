@@ -20,6 +20,7 @@ implements the same interface.
 """
 
 from repro.mitigations.base import RowHammerMitigation, MitigationStatistics
+from repro.mitigations.fabric import MitigationFabric
 from repro.mitigations.none import NoMitigation
 from repro.mitigations.para import PARA, para_refresh_probability
 from repro.mitigations.graphene import Graphene, GrapheneConfig
@@ -30,6 +31,7 @@ from repro.mitigations.blockhammer import BlockHammer, BlockHammerConfig
 __all__ = [
     "RowHammerMitigation",
     "MitigationStatistics",
+    "MitigationFabric",
     "NoMitigation",
     "PARA",
     "para_refresh_probability",

@@ -67,6 +67,9 @@ class RowHammerMitigation(ABC):
         self.stats = MitigationStatistics()
         self.controller = None  # set by attach()
         self.dram_config: Optional[DRAMConfig] = None
+        #: Channel this instance protects (set by attach()); ``None`` means
+        #: the legacy monolithic layout where one instance covers them all.
+        self.channel: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -79,6 +82,7 @@ class RowHammerMitigation(ABC):
         """Called by the memory controller once it is constructed."""
         self.controller = controller
         self.dram_config = controller.dram_config
+        self.channel = getattr(controller, "channel", None)
 
     def register_events(self, kernel) -> None:
         """Register timestamped callbacks on the simulation kernel.
@@ -123,11 +127,18 @@ class RowHammerMitigation(ABC):
         return len(victims)
 
     def bank_count(self) -> int:
-        """Number of banks the mechanism protects (one table per bank)."""
+        """Number of banks the mechanism protects (one table per bank).
+
+        A channel-scoped instance (attached to one channel of a fabric)
+        protects only its own channel's banks; summing the per-channel
+        instances then yields the same system total as the legacy monolithic
+        instance covering every channel.
+        """
         if self.dram_config is None:
             raise RuntimeError("mitigation is not attached to a controller")
         org = self.dram_config.organization
-        return org.channels * org.ranks_per_channel * org.banks_per_rank
+        channels = 1 if self.channel is not None else org.channels
+        return channels * org.ranks_per_channel * org.banks_per_rank
 
     # ------------------------------------------------------------------ #
     # Area/storage modelling

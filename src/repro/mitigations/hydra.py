@@ -213,7 +213,10 @@ class Hydra(RowHammerMitigation):
         banks = self.bank_count() if self.dram_config is not None else 32
         total_bits = self.storage_bits_per_bank() * banks
         org = self.dram_config.organization if self.dram_config is not None else None
-        rows = org.total_rows if org is not None else 32 * 128 * 1024
+        # Rows this instance protects: all rows of its banks (bank_count is
+        # channel-scoped on a fabric instance, so per-channel reports sum to
+        # the legacy whole-system figure).
+        rows = banks * org.rows_per_bank if org is not None else 32 * 128 * 1024
         dram_bits = rows * self.config.counter_width_bits
         return {
             "sram_KiB": total_bits / 8 / 1024,

@@ -2,10 +2,11 @@
 
 The kernel owns a single min-heap of timestamped events and drives every
 component of a :class:`~repro.sim.system.System` — cores, the memory
-controller, and (optionally) mitigations — through it.  It replaces the
-seed's per-step loop, which re-scanned every core (``O(N)`` per event) and
-re-polled the controller on every iteration, and which papered over the
-blocked-core/empty-controller stall with a one-cycle time nudge.
+controllers of the channel fabric, and (optionally) mitigations — through
+it.  It replaces the seed's per-step loop, which re-scanned every core
+(``O(N)`` per event) and re-polled the controller on every iteration, and
+which papered over the blocked-core/empty-controller stall with a one-cycle
+time nudge.
 
 Scheduling model
 ----------------
@@ -17,9 +18,18 @@ Each component is an *event source*:
   outstanding reads completes (the controller fires the core's kernel-wakeup
   hook mid-issue), or a controller queue slot frees while it has a blocked
   request.
-* The **controller** is scheduled at the earliest cycle at which it can issue
-  a command.  Its entry is invalidated and recomputed after every event that
-  can change its queues (a core step, a retry, its own issue).
+* Each **memory controller** (one per channel on a
+  :class:`~repro.controller.fabric.ChannelFabric`; a bare controller is
+  treated as a 1-entry fabric) is scheduled at the earliest cycle at which
+  it can issue a command.  Entries are invalidated and recomputed after
+  every event that can change a controller's queues — except that an *idle*
+  channel (no queued work, no due refresh) is skipped: its mutation counter
+  (:attr:`~repro.controller.controller.MemoryController.mutations`) proves
+  its queues are untouched and
+  :meth:`~repro.controller.controller.MemoryController.refresh_crosses_due`
+  proves no refresh deadline was crossed, so re-running command selection
+  would provably return "nothing to do" again.  This is what lets a wide
+  fabric pay per-event cost only for its busy channels.
 * **Mitigations** may register their own timestamped callbacks through
   :meth:`EventKernel.schedule` (see
   :meth:`repro.mitigations.base.RowHammerMitigation.register_events`).
@@ -28,8 +38,8 @@ Stale heap entries are invalidated lazily with per-source generation
 counters, so re-scheduling is O(log n) and no entry is ever searched for.
 
 Ties are broken the same way the seed loop's comparisons did: cores win over
-the controller at equal timestamps, and the lowest-numbered core wins among
-cores.
+controllers at equal timestamps, the lowest-numbered core wins among cores,
+and the lowest-numbered channel wins among controllers.
 
 Termination
 -----------
@@ -48,12 +58,11 @@ import heapq
 import math
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.controller.controller import MemoryController
 from repro.cpu.core import Core
 
 _INFINITY = math.inf
 
-#: Heap priorities: cores beat the controller at equal timestamps (the seed
+#: Heap priorities: cores beat controllers at equal timestamps (the seed
 #: loop's ``core_cycle <= controller_time`` comparison), and user callbacks
 #: run after both so they observe a settled cycle.
 _PRIORITY_CORE = 0
@@ -62,18 +71,20 @@ _PRIORITY_CALLBACK = 2
 
 
 class SimulationDeadlockError(RuntimeError):
-    """The event queue ran dry with unfinished cores and an idle controller."""
+    """The event queue ran dry with unfinished cores and idle controllers."""
 
 
 class EventKernel:
-    """Min-heap event queue driving cores, controller and mitigations.
+    """Min-heap event queue driving cores, controllers and mitigations.
 
     Parameters
     ----------
     cores:
         The system's cores, in core-id order (the order is the tie-break).
     controller:
-        The shared memory controller.
+        The memory subsystem: a
+        :class:`~repro.controller.fabric.ChannelFabric` (anything exposing a
+        ``controllers`` sequence) or a single bare controller.
     max_steps:
         Upper bound on processed events (a runaway guard, like the seed's
         ``SystemConfig.max_steps``).
@@ -82,11 +93,15 @@ class EventKernel:
     def __init__(
         self,
         cores: Sequence[Core],
-        controller: MemoryController,
+        controller,
         max_steps: int = 200_000_000,
     ) -> None:
         self.cores = list(cores)
         self.controller = controller
+        fabric_controllers = getattr(controller, "controllers", None)
+        self.controllers = (
+            list(fabric_controllers) if fabric_controllers is not None else [controller]
+        )
         self.max_steps = max_steps
         self.now = 0.0
         self.steps = 0
@@ -95,23 +110,31 @@ class EventKernel:
         # is live only if its generation matches the source's current one.
         self._heap: List[Tuple[float, int, int, int]] = []
         self._core_gen = [0] * len(self.cores)
-        self._controller_gen = 0
+        num_controllers = len(self.controllers)
+        self._ctl_gen = [0] * num_controllers
         #: Decision cached at schedule time; valid while the generation holds
         #: (no queue mutation since) and no refresh deadline crossed.
-        self._controller_decision = None
-        self._controller_recheck = False
+        self._ctl_decision: List[Optional[tuple]] = [None] * num_controllers
+        self._ctl_recheck = [False] * num_controllers
+        #: Inputs of the cached (non-)decision, used for the idle-channel
+        #: skip: the cycle command selection ran at and the controller's
+        #: mutation counter right after it ran.
+        self._ctl_cached_cycle = [0] * num_controllers
+        self._ctl_cached_mutations: List[Optional[int]] = [None] * num_controllers
+        self._ctl_has_entry = [False] * num_controllers
         self._callback_seq = 0
         self._callbacks: dict[int, Callable[[float], None]] = {}
         #: Cores whose state changed mid-event (read completions fire while
-        #: the controller is issuing); re-scheduled once the event finishes.
+        #: a controller is issuing); re-scheduled once the event finishes.
         self._dirty_cores: set[int] = set()
 
         for index, core in enumerate(self.cores):
             core.kernel_wakeup = self._make_core_wakeup(index)
-        controller.add_slot_free_callback(self._on_slot_free)
-        mitigation = getattr(controller, "mitigation", None)
-        if mitigation is not None:
-            mitigation.register_events(self)
+        for ctl in self.controllers:
+            ctl.add_slot_free_callback(self._on_slot_free)
+            mitigation = getattr(ctl, "mitigation", None)
+            if mitigation is not None:
+                mitigation.register_events(self)
 
     # ------------------------------------------------------------------ #
     # Public scheduling interface
@@ -132,7 +155,7 @@ class EventKernel:
         """Process events until all cores finish; returns the final time."""
         for index in range(len(self.cores)):
             self._schedule_core(index)
-        self._schedule_controller()
+        self._schedule_controllers()
 
         while self.steps < self.max_steps:
             entry = self._pop_live()
@@ -153,25 +176,29 @@ class EventKernel:
                 elif not core.finished:
                     core.step(self.now)
                 self._schedule_core(index)
-                self._schedule_controller()
+                self._schedule_controllers()
             elif priority == _PRIORITY_CONTROLLER:
-                if self._controller_recheck:
-                    issued = self.controller.issue_next(int(math.ceil(time)))
+                ctl = self.controllers[index]
+                self._ctl_has_entry[index] = False
+                if self._ctl_recheck[index]:
+                    issued = ctl.issue_next(int(math.ceil(time)))
                 else:
-                    issued = self.controller.issue_decision(self._controller_decision)
+                    issued = ctl.issue_decision(self._ctl_decision[index])
                 if issued is not None:
                     self.now = max(self.now, float(issued))
-                self._schedule_controller()
+                self._schedule_controllers()
             else:
                 callback = self._callbacks.pop(index, None)
                 if callback is not None:
                     callback(self.now)
-                self._schedule_controller()
+                self._schedule_controllers()
             self._flush_dirty_cores()
         return self.now
 
     def _all_done(self) -> bool:
-        return all(core.finished for core in self.cores) and not self.controller.has_work()
+        return all(core.finished for core in self.cores) and not any(
+            ctl.has_work() for ctl in self.controllers
+        )
 
     # ------------------------------------------------------------------ #
     # Scheduling helpers
@@ -194,24 +221,45 @@ class EventKernel:
             (max(float(cycle), self.now), _PRIORITY_CORE, index, self._core_gen[index]),
         )
 
-    def _schedule_controller(self) -> None:
-        self._controller_gen += 1
+    def _schedule_controllers(self) -> None:
+        for index in range(len(self.controllers)):
+            self._schedule_controller(index)
+
+    def _schedule_controller(self, index: int) -> None:
+        ctl = self.controllers[index]
         cycle = int(math.ceil(self.now))
-        decision = self.controller.next_decision(cycle)
+        if (
+            self._ctl_decision[index] is None
+            and not self._ctl_has_entry[index]
+            and self._ctl_cached_mutations[index] is not None
+            and self._ctl_cached_mutations[index] == getattr(ctl, "mutations", None)
+            and not ctl.refresh_crosses_due(self._ctl_cached_cycle[index], cycle)
+        ):
+            # Idle-channel skip: command selection previously found nothing
+            # to do, the controller's queues are untouched since (mutation
+            # counter unchanged) and no refresh deadline was crossed, so the
+            # recomputed decision would be "nothing" again.
+            return
+        self._ctl_gen[index] += 1
+        decision = ctl.next_decision(cycle)
+        self._ctl_cached_cycle[index] = cycle
+        # Snapshot *after* next_decision: selection may retire already-done
+        # preventive refreshes (queue pruning) and bump the counter.
+        self._ctl_cached_mutations[index] = getattr(ctl, "mutations", None)
         if decision is None:
-            self._controller_decision = None
+            self._ctl_decision[index] = None
+            self._ctl_has_entry[index] = False
             return
         issue_cycle = decision[0]
-        self._controller_decision = decision
+        self._ctl_decision[index] = decision
         # A refresh deadline inside (cycle, issue_cycle] would outrank the
         # cached decision once due; recompute at issue time in that case.
-        self._controller_recheck = self.controller.refresh_crosses_due(
-            cycle, issue_cycle
-        )
+        self._ctl_recheck[index] = ctl.refresh_crosses_due(cycle, issue_cycle)
         heapq.heappush(
             self._heap,
-            (float(issue_cycle), _PRIORITY_CONTROLLER, -1, self._controller_gen),
+            (float(issue_cycle), _PRIORITY_CONTROLLER, index, self._ctl_gen[index]),
         )
+        self._ctl_has_entry[index] = True
 
     def _pop_live(self) -> Optional[Tuple[float, int, int]]:
         heap = self._heap
@@ -219,7 +267,7 @@ class EventKernel:
             time, priority, index, gen = heapq.heappop(heap)
             if priority == _PRIORITY_CORE and gen != self._core_gen[index]:
                 continue
-            if priority == _PRIORITY_CONTROLLER and gen != self._controller_gen:
+            if priority == _PRIORITY_CONTROLLER and gen != self._ctl_gen[index]:
                 continue
             if priority == _PRIORITY_CALLBACK and index not in self._callbacks:
                 continue
@@ -231,9 +279,11 @@ class EventKernel:
             index = self._dirty_cores.pop()
             core = self.cores[index]
             if core.has_blocked_request:
-                self._schedule_core_retry(
-                    index, max(self.now, float(self.controller.current_cycle))
+                current = max(
+                    (float(ctl.current_cycle) for ctl in self.controllers),
+                    default=0.0,
                 )
+                self._schedule_core_retry(index, max(self.now, current))
             else:
                 self._schedule_core(index)
 
@@ -258,10 +308,10 @@ class EventKernel:
         """Retry every blocked core once; True when any made progress.
 
         Reached only when the heap is empty with unfinished cores.  With the
-        real controller a blocked core implies a full (hence non-empty) queue,
-        so this is unreachable; a test double or future backend that rejects
-        an enqueue while idle lands here, and the retry either unblocks the
-        core or proves the system wedged.
+        real controllers a blocked core implies a full (hence non-empty)
+        queue, so this is unreachable; a test double or future backend that
+        rejects an enqueue while idle lands here, and the retry either
+        unblocks the core or proves the system wedged.
         """
         progressed = False
         for index, core in enumerate(self.cores):
@@ -269,14 +319,15 @@ class EventKernel:
                 self._schedule_core(index)
                 progressed = True
         if progressed:
-            self._schedule_controller()
+            self._schedule_controllers()
         return progressed
 
     def _raise_deadlock(self) -> None:
         blocked = [c.core_id for c in self.cores if c.has_blocked_request]
         unfinished = [c.core_id for c in self.cores if not c.finished]
+        pending = sum(ctl.pending_requests() for ctl in self.controllers)
         raise SimulationDeadlockError(
             f"simulation wedged at cycle {self.now:.0f}: no schedulable events, "
             f"unfinished cores {unfinished}, blocked cores {blocked}, "
-            f"controller pending requests {self.controller.pending_requests()}"
+            f"controllers pending requests {pending}"
         )

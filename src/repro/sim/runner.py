@@ -13,11 +13,9 @@ scaling.  Pass a full-size :class:`~repro.dram.config.DRAMConfig` to override.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.comet import CoMeT
-from repro.core.config import CoMeTConfig
 from repro.cpu.core import CoreConfig
 from repro.cpu.trace import Trace
 from repro.dram.config import DRAMConfig, small_test_config
@@ -73,9 +71,40 @@ def build_mitigation(name: str, nrh: int, **overrides) -> RowHammerMitigation:
     return cls(nrh, **overrides)
 
 
+def build_mitigations(
+    name: str, nrh: int, channels: int, **overrides
+) -> List[RowHammerMitigation]:
+    """One independently-constructed mitigation instance per channel.
+
+    The channel fabric requires distinct instances: sharing one object
+    across channels would merge per-channel counter state (and, for the
+    mechanisms with periodic resets, reset every channel's tables on one
+    channel's clock).  Randomized mechanisms (PARA, BlockHammer) get a
+    per-channel ``seed`` so their channels draw independent streams rather
+    than making identical probabilistic decisions in lockstep; channel 0
+    keeps the default seed, preserving 1-channel bit-identity.
+    """
+    import inspect
+
+    cls = MITIGATION_REGISTRY.get(name)
+    seedable = (
+        cls is not None
+        and cls is not NoMitigation
+        and "seed" in inspect.signature(cls.__init__).parameters
+    )
+    instances = []
+    for channel in range(channels):
+        kwargs = dict(overrides)
+        if channel > 0 and seedable and "seed" not in kwargs:
+            kwargs["seed"] = channel
+        instances.append(build_mitigation(name, nrh, **kwargs))
+    return instances
+
+
 def default_experiment_config(
     rows_per_bank: int = 4096,
     refresh_window_scale: float = 1.0 / 256.0,
+    channels: int = 1,
 ) -> DRAMConfig:
     """The scaled DRAM configuration used by examples and benches.
 
@@ -92,6 +121,7 @@ def default_experiment_config(
         bankgroups_per_rank=2,
         ranks_per_channel=2,
         refresh_window_scale=refresh_window_scale,
+        channels=channels,
     )
     return config
 
@@ -105,16 +135,25 @@ def run_single_core(
     mitigation_overrides: Optional[dict] = None,
     verify_security: bool = True,
 ) -> SimulationResult:
-    """Run one trace on a single-core system under one mitigation."""
+    """Run one trace on a single-core system under one mitigation.
+
+    The number of memory channels comes from ``dram_config``; one mitigation
+    instance is built per channel.
+    """
     dram_config = dram_config or default_experiment_config()
-    mitigation = build_mitigation(mitigation_name, nrh, **(mitigation_overrides or {}))
+    mitigations = build_mitigations(
+        mitigation_name,
+        nrh,
+        dram_config.organization.channels,
+        **(mitigation_overrides or {}),
+    )
     system_config = SystemConfig(
         dram=dram_config,
         core=core_config or CoreConfig(),
         verify_security=verify_security,
         nrh_for_verification=nrh,
     )
-    system = System([trace], mitigation=mitigation, config=system_config, name=trace.name)
+    system = System([trace], mitigation=mitigations, config=system_config, name=trace.name)
     return system.run()
 
 
@@ -130,7 +169,12 @@ def run_multi_core(
 ) -> SimulationResult:
     """Run a multi-programmed mix (one trace per core) under one mitigation."""
     dram_config = dram_config or default_experiment_config()
-    mitigation = build_mitigation(mitigation_name, nrh, **(mitigation_overrides or {}))
+    mitigations = build_mitigations(
+        mitigation_name,
+        nrh,
+        dram_config.organization.channels,
+        **(mitigation_overrides or {}),
+    )
     system_config = SystemConfig(
         dram=dram_config,
         core=core_config or CoreConfig(),
@@ -138,7 +182,7 @@ def run_multi_core(
         nrh_for_verification=nrh,
     )
     system = System(
-        list(traces), mitigation=mitigation, config=system_config, name=name or traces[0].name
+        list(traces), mitigation=mitigations, config=system_config, name=name or traces[0].name
     )
     return system.run()
 

@@ -26,7 +26,7 @@ import hashlib
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -42,7 +42,8 @@ from repro.workloads.suite import build_multicore_traces, build_trace
 
 #: Bump when simulation semantics change in a way that invalidates cached
 #: results (scheduler behaviour, trace generation, statistics definitions).
-SWEEP_CACHE_VERSION = 1
+#: v2: channel-partitioned fabric (SweepPoint grew a ``channels`` axis).
+SWEEP_CACHE_VERSION = 2
 
 _CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 
@@ -64,8 +65,14 @@ class SweepPoint:
     seed: int = 0
     verify_security: bool = True
     mitigation_overrides: Optional[Dict[str, Any]] = None
+    #: Memory channels for the channel-partitioned fabric.  When it differs
+    #: from the sweep's shared DRAM configuration, the point runs on a copy
+    #: of that configuration with the organization re-channeled.
+    channels: int = 1
 
     def label(self) -> str:
+        if self.channels != 1:
+            return f"{self.workload}/{self.mitigation}@{self.nrh}x{self.channels}ch"
         return f"{self.workload}/{self.mitigation}@{self.nrh}"
 
 
@@ -106,6 +113,16 @@ def _cached_traces(point: SweepPoint, dram_config: DRAMConfig):
     return _TRACE_CACHE[key]
 
 
+def _rechanneled(dram_config: DRAMConfig, channels: int) -> DRAMConfig:
+    """Copy ``dram_config`` with a different channel count (no-op when equal)."""
+    if dram_config.organization.channels == channels:
+        return dram_config
+    return replace(
+        dram_config,
+        organization=replace(dram_config.organization, channels=channels),
+    )
+
+
 def execute_point(
     point: SweepPoint,
     dram_config: Optional[DRAMConfig] = None,
@@ -113,6 +130,7 @@ def execute_point(
 ) -> SimulationResult:
     """Run one sweep point to completion on the event-driven engine."""
     dram_config = dram_config or default_experiment_config()
+    dram_config = _rechanneled(dram_config, point.channels)
     if point.num_cores > 1:
         traces = _cached_traces(point, dram_config)
         return run_multi_core(
@@ -327,40 +345,46 @@ class SweepRunner:
         num_cores: int = 1,
         include_baseline: bool = True,
         mitigation_overrides: Optional[Dict[str, Any]] = None,
+        channels: Sequence[int] = (1,),
     ) -> List[SweepPoint]:
-        """The Figures 6-9 pattern: workload x mitigation x NRH.
+        """The Figures 6-9 pattern: workload x mitigation x NRH (x channels).
 
         The unprotected baseline (needed by every normalized metric) is
         threshold-independent, so ``include_baseline`` adds a single
-        ``"none"`` point per workload rather than one per threshold, pinned
-        at ``nrh=1`` so its cache key is the same regardless of the swept
-        threshold list (the benchmark harnesses use the same convention).
+        ``"none"`` point per workload *per channel count* rather than one
+        per threshold, pinned at ``nrh=1`` so its cache key is the same
+        regardless of the swept threshold list (the benchmark harnesses use
+        the same convention).  ``channels`` is the multi-channel scaling
+        axis; the default keeps the classic single-channel grid.
         """
         points: List[SweepPoint] = []
-        for workload in workloads:
-            if include_baseline:
-                points.append(
-                    SweepPoint(
-                        workload=workload,
-                        mitigation="none",
-                        nrh=1,
-                        num_requests=num_requests,
-                        num_cores=num_cores,
-                        verify_security=False,
-                    )
-                )
-            for mitigation in mitigations:
-                if mitigation == "none":
-                    continue
-                for nrh in nrhs:
+        for num_channels in channels:
+            for workload in workloads:
+                if include_baseline:
                     points.append(
                         SweepPoint(
                             workload=workload,
-                            mitigation=mitigation,
-                            nrh=nrh,
+                            mitigation="none",
+                            nrh=1,
                             num_requests=num_requests,
                             num_cores=num_cores,
-                            mitigation_overrides=mitigation_overrides,
+                            verify_security=False,
+                            channels=num_channels,
                         )
                     )
+                for mitigation in mitigations:
+                    if mitigation == "none":
+                        continue
+                    for nrh in nrhs:
+                        points.append(
+                            SweepPoint(
+                                workload=workload,
+                                mitigation=mitigation,
+                                nrh=nrh,
+                                num_requests=num_requests,
+                                num_cores=num_cores,
+                                mitigation_overrides=mitigation_overrides,
+                                channels=num_channels,
+                            )
+                        )
         return points

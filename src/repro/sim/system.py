@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.security import SecurityVerifier
-from repro.controller.controller import ControllerConfig, MemoryController
+from repro.controller.controller import ControllerConfig
+from repro.controller.fabric import ChannelFabric
 from repro.cpu.cache import CacheConfig, LastLevelCache
 from repro.cpu.core import Core, CoreConfig
 from repro.cpu.trace import Trace
@@ -90,31 +91,44 @@ class SimulationResult:
 
 
 class System:
-    """One simulated machine: N cores sharing a memory controller."""
+    """One simulated machine: N cores sharing a channel-partitioned fabric.
+
+    ``mitigation`` is either a single :class:`RowHammerMitigation` instance
+    (1-channel configurations) or one instance per channel; the fabric keeps
+    each channel's mitigation state independent and this class reports their
+    aggregate.
+    """
 
     def __init__(
         self,
         traces: Sequence[Trace],
-        mitigation: Optional[RowHammerMitigation] = None,
+        mitigation: Union[
+            None, RowHammerMitigation, Sequence[RowHammerMitigation]
+        ] = None,
         config: Optional[SystemConfig] = None,
         name: Optional[str] = None,
     ) -> None:
         if not traces:
             raise ValueError("at least one trace is required")
         self.config = config or SystemConfig()
-        self.mitigation = mitigation
         self.name = name or traces[0].name
-        self.controller = MemoryController(
-            self.config.dram, self.config.controller, mitigation=mitigation
+        self.fabric = ChannelFabric(
+            self.config.dram, self.config.controller, mitigations=mitigation
         )
-        self.verifier: Optional[SecurityVerifier] = None
+        #: Aggregate mitigation view (None for the unprotected baseline).
+        self.mitigation = self.fabric.mitigation
+        #: One security verifier per channel, each observing that channel's
+        #: DRAM ground truth (the RowHammer invariant is per-bank, and banks
+        #: never span channels, so the per-channel verdicts compose exactly).
+        self.verifiers: List[SecurityVerifier] = []
         if self.config.verify_security:
             nrh = self.config.nrh_for_verification
-            if nrh is None and mitigation is not None:
-                nrh = mitigation.nrh
-            self.verifier = SecurityVerifier(
-                self.controller.dram, nrh=nrh or 10**9
-            )
+            if nrh is None and self.mitigation is not None:
+                nrh = self.mitigation.nrh
+            self.verifiers = [
+                SecurityVerifier(controller.dram, nrh=nrh or 10**9)
+                for controller in self.fabric.controllers
+            ]
         self.cores: List[Core] = []
         shared_cache = None
         if self.config.use_llc:
@@ -127,12 +141,30 @@ class System:
                 Core(
                     core_id=core_id,
                     trace=trace,
-                    controller=self.controller,
+                    controller=self.fabric,
                     config=self.config.core,
                     cache=shared_cache,
                 )
             )
         self._steps = 0
+
+    @property
+    def controller(self):
+        """The memory subsystem as tests address it.
+
+        A 1-channel system exposes its single
+        :class:`~repro.controller.controller.MemoryController` directly
+        (preserving the pre-fabric interface used throughout the test
+        suite); multi-channel systems expose the fabric.
+        """
+        if len(self.fabric.controllers) == 1:
+            return self.fabric.controllers[0]
+        return self.fabric
+
+    @property
+    def verifier(self) -> Optional[SecurityVerifier]:
+        """The first channel's verifier (the only one on 1-channel systems)."""
+        return self.verifiers[0] if self.verifiers else None
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -146,11 +178,11 @@ class System:
         instead of a rescan of every component.
         """
         kernel = EventKernel(
-            self.cores, self.controller, max_steps=self.config.max_steps
+            self.cores, self.fabric, max_steps=self.config.max_steps
         )
         now = kernel.run()
         self._steps = kernel.steps
-        final_cycle = self.controller.drain(int(math.ceil(now)))
+        final_cycle = self.fabric.drain(int(math.ceil(now)))
         final_cycle = max(final_cycle, int(math.ceil(now)))
         return self._build_result(final_cycle)
 
@@ -162,7 +194,9 @@ class System:
             num_ranks=self.config.dram.organization.ranks_per_channel
             * self.config.dram.organization.channels
         )
-        energy = energy_model.energy(self.controller.dram.stats, final_cycle)
+        dram_stats = self.fabric.dram_statistics()
+        controller_stats = self.fabric.stats
+        energy = energy_model.energy(dram_stats, final_cycle)
         mitigation_name = self.mitigation.name if self.mitigation is not None else "none"
         mitigation_stats: Dict[str, float] = {}
         preventive = 0
@@ -180,11 +214,10 @@ class System:
                 "counter_resets": stats.counter_resets,
             }
             mitigation_stats.update(stats.extra)
-        security_ok = True
-        max_disturbance = 0
-        if self.verifier is not None:
-            security_ok = not self.verifier.violations
-            max_disturbance = self.verifier.max_disturbance
+        security_ok = all(not verifier.violations for verifier in self.verifiers)
+        max_disturbance = max(
+            (verifier.max_disturbance for verifier in self.verifiers), default=0
+        )
 
         return SimulationResult(
             name=self.name,
@@ -192,10 +225,10 @@ class System:
             cycles=final_cycle,
             per_core_ipc=[core.instructions_per_cycle() for core in self.cores],
             per_core_instructions=[core.stats.retired_instructions for core in self.cores],
-            average_read_latency=self.controller.stats.average_read_latency,
-            read_requests=self.controller.stats.read_requests,
-            write_requests=self.controller.stats.write_requests,
-            dram_stats=self.controller.dram.stats.as_dict(),
+            average_read_latency=controller_stats.average_read_latency,
+            read_requests=controller_stats.read_requests,
+            write_requests=controller_stats.write_requests,
+            dram_stats=dram_stats.as_dict(),
             energy=energy,
             preventive_refreshes=preventive,
             early_refresh_operations=early,

@@ -17,6 +17,7 @@ to (see DESIGN.md for the substitution rationale).
 
 from repro.workloads.synthetic import SyntheticWorkloadGenerator, WorkloadSpec
 from repro.workloads.suite import (
+    MULTICHANNEL_SUITE,
     WORKLOAD_SUITE,
     workload_names,
     workload_spec,
@@ -35,6 +36,7 @@ __all__ = [
     "SyntheticWorkloadGenerator",
     "WorkloadSpec",
     "WORKLOAD_SUITE",
+    "MULTICHANNEL_SUITE",
     "workload_names",
     "workload_spec",
     "build_trace",

@@ -42,13 +42,17 @@ def traditional_rowhammer_attack(
     base_row: int = 64,
     row_stride: int = 2,
     seed: int = 0,
+    channel: int = 0,
 ) -> Trace:
     """Round-robin hammering of ``aggressor_rows_per_bank`` rows in every bank.
 
     Consecutive accesses always target a different row of the same bank (or
     move to the next bank), so every access forces a row conflict and hence an
     ACT — the attacker's goal.  ``row_stride=2`` leaves victim rows between
-    aggressors (double-sided style layout).
+    aggressors (double-sided style layout).  On a multi-channel fabric the
+    attack confines itself to ``channel``, which is what makes the
+    per-channel mitigation isolation observable (an attack on one channel
+    must not perturb another channel's counters).
     """
     mapper = _mapper(dram_config)
     config = mapper.config
@@ -63,7 +67,9 @@ def traditional_rowhammer_attack(
         bank = banks[bank_cursor % len(banks)]
         row = rows[row_cursor % len(rows)]
         column = rng.randrange(0, config.organization.columns_per_row, 8)
-        address = mapper.address_for_row(row, bank_index=bank, column=column)
+        address = mapper.address_for_row(
+            row, bank_index=bank, column=column, channel=channel
+        )
         entries.append(TraceEntry(bubble, address, False))
         # Advance row first so the same bank sees alternating rows (always a
         # conflict), then rotate banks to hammer all of them.
@@ -80,6 +86,7 @@ def single_row_hammer(
     dram_config: Optional[DRAMConfig] = None,
     decoy_row: Optional[int] = None,
     bubble: int = 0,
+    channel: int = 0,
 ) -> Trace:
     """Hammer one aggressor row ``activations`` times (unit-test helper).
 
@@ -93,10 +100,18 @@ def single_row_hammer(
     entries: List[TraceEntry] = []
     for _ in range(activations):
         entries.append(
-            TraceEntry(bubble, mapper.address_for_row(target_row, bank_index=bank_index), False)
+            TraceEntry(
+                bubble,
+                mapper.address_for_row(target_row, bank_index=bank_index, channel=channel),
+                False,
+            )
         )
         entries.append(
-            TraceEntry(bubble, mapper.address_for_row(decoy_row, bank_index=bank_index), False)
+            TraceEntry(
+                bubble,
+                mapper.address_for_row(decoy_row, bank_index=bank_index, channel=channel),
+                False,
+            )
         )
     return Trace(entries, name=f"hammer_row_{target_row}")
 
@@ -109,6 +124,7 @@ def comet_targeted_attack(
     bank_index: int = 0,
     bubble: int = 0,
     base_row: int = 128,
+    channel: int = 0,
 ) -> Trace:
     """RAT-thrashing attack against CoMeT (Section 8.2, "targeted attack").
 
@@ -132,7 +148,7 @@ def comet_targeted_attack(
         for row in rows:
             if produced >= num_requests:
                 break
-            address = mapper.address_for_row(row, bank_index=bank_index)
+            address = mapper.address_for_row(row, bank_index=bank_index, channel=channel)
             entries.append(TraceEntry(bubble, address, False))
             produced += 1
     return Trace(entries[:num_requests], name="attack_comet_targeted")
@@ -146,6 +162,7 @@ def hydra_targeted_attack(
     dram_config: Optional[DRAMConfig] = None,
     bubble: int = 0,
     seed: int = 0,
+    channel: int = 0,
 ) -> Trace:
     """Group-counter saturation attack against Hydra (Section 8.2).
 
@@ -172,7 +189,9 @@ def hydra_targeted_attack(
                     break
                 row = group_base + offset
                 column = rng.randrange(0, config.organization.columns_per_row, 8)
-                address = mapper.address_for_row(row, bank_index=bank, column=column)
+                address = mapper.address_for_row(
+                    row, bank_index=bank, column=column, channel=channel
+                )
                 entries.append(TraceEntry(bubble, address, False))
                 produced += 1
             if produced >= num_requests:

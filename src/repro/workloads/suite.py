@@ -37,6 +37,7 @@ def _spec(
     writes: float,
     category: str,
     bank_fraction: float = 1.0,
+    channel_fraction: float = 1.0,
 ) -> WorkloadSpec:
     return WorkloadSpec(
         name=name,
@@ -47,6 +48,7 @@ def _spec(
         write_fraction=writes,
         bank_fraction=bank_fraction,
         category=category,
+        channel_fraction=channel_fraction,
     )
 
 
@@ -125,16 +127,52 @@ WORKLOAD_SUITE: Dict[str, WorkloadSpec] = {
 }
 
 
+#: Multi-channel scaling workloads (the ``multichannel`` category).  These
+#: are not part of the paper's Table 3 (which evaluates a 1-channel system);
+#: they exercise the channel-partitioned fabric by spreading their footprint
+#: across every available channel — or deliberately only half of them
+#: (``mc_skewed``), modelling channel imbalance.  On a 1-channel
+#: configuration they degenerate to ordinary single-channel workloads.
+MULTICHANNEL_SUITE: Dict[str, WorkloadSpec] = {
+    "mc_stream": _spec(
+        "mc_stream", 24.0, 0.80, 4096, 0.2, 0.40, "multichannel"
+    ),
+    "mc_random": _spec(
+        "mc_random", 20.0, 0.20, 2048, 0.9, 0.20, "multichannel"
+    ),
+    "mc_server": _spec(
+        "mc_server", 6.0, 0.45, 1536, 0.8, 0.35, "multichannel"
+    ),
+    "mc_skewed": _spec(
+        "mc_skewed", 18.0, 0.40, 2048, 0.7, 0.25, "multichannel",
+        channel_fraction=0.5,
+    ),
+}
+
+
 def workload_names(category: Optional[str] = None) -> List[str]:
-    """Names of all workloads, optionally filtered by category (low/medium/high)."""
+    """Names of all Table 3 workloads, optionally filtered by category.
+
+    Categories ``low``/``medium``/``high`` select from the 61-workload
+    Table 3 suite; ``multichannel`` selects the channel-scaling additions
+    (which are deliberately *not* part of the unfiltered listing, keeping
+    the paper's suite intact for the figure harnesses).
+    """
     if category is None:
         return list(WORKLOAD_SUITE)
+    if category == "multichannel":
+        return list(MULTICHANNEL_SUITE)
     return [name for name, spec in WORKLOAD_SUITE.items() if spec.category == category]
 
 
 def workloads_by_category() -> Dict[str, List[str]]:
-    """Mapping category -> workload names (the grouping of Table 3)."""
-    result: Dict[str, List[str]] = {"high": [], "medium": [], "low": []}
+    """Mapping category -> workload names (Table 3 plus ``multichannel``)."""
+    result: Dict[str, List[str]] = {
+        "high": [],
+        "medium": [],
+        "low": [],
+        "multichannel": list(MULTICHANNEL_SUITE),
+    }
     for name, spec in WORKLOAD_SUITE.items():
         result[spec.category].append(name)
     return result
@@ -142,12 +180,11 @@ def workloads_by_category() -> Dict[str, List[str]]:
 
 def workload_spec(name: str) -> WorkloadSpec:
     """Spec for one named workload; raises KeyError with a helpful message."""
-    try:
-        return WORKLOAD_SUITE[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; known workloads: {sorted(WORKLOAD_SUITE)}"
-        ) from None
+    spec = WORKLOAD_SUITE.get(name) or MULTICHANNEL_SUITE.get(name)
+    if spec is None:
+        known = sorted([*WORKLOAD_SUITE, *MULTICHANNEL_SUITE])
+        raise KeyError(f"unknown workload {name!r}; known workloads: {known}")
+    return spec
 
 
 def build_trace(

@@ -13,6 +13,9 @@ A workload is described by a :class:`WorkloadSpec`:
 * ``write_fraction`` — fraction of accesses that are writes.
 * ``bank_fraction`` — fraction of the available banks the workload spreads
   over (bank-level parallelism).
+* ``channel_fraction`` — fraction of the available memory channels the
+  workload spreads over (channel-level parallelism on a multi-channel
+  fabric; irrelevant on the paper's 1-channel configuration).
 
 The generator produces a :class:`~repro.cpu.trace.Trace` of LLC-miss-level
 accesses (the same level as Ramulator DRAM traces), deterministic for a given
@@ -44,6 +47,7 @@ class WorkloadSpec:
     write_fraction: float = 0.25
     bank_fraction: float = 1.0
     category: str = "medium"
+    channel_fraction: float = 1.0
 
     def __post_init__(self) -> None:
         if self.rbmpki <= 0:
@@ -56,6 +60,8 @@ class WorkloadSpec:
             raise ValueError("write_fraction must be in [0, 1]")
         if not 0.0 < self.bank_fraction <= 1.0:
             raise ValueError("bank_fraction must be in (0, 1]")
+        if not 0.0 < self.channel_fraction <= 1.0:
+            raise ValueError("channel_fraction must be in (0, 1]")
 
     @property
     def average_bubble(self) -> float:
@@ -104,6 +110,8 @@ class SyntheticWorkloadGenerator:
         all_banks = self.mapper.all_bank_indices()
         num_banks = max(1, int(round(len(all_banks) * spec.bank_fraction)))
         banks = all_banks[:num_banks]
+        num_channels = max(1, int(round(org.channels * spec.channel_fraction)))
+        channels = list(range(num_channels))
 
         footprint = min(spec.footprint_rows, org.rows_per_bank)
         # Spread each bank's footprint over a distinct region so different
@@ -121,6 +129,7 @@ class SyntheticWorkloadGenerator:
         current_bank = rng.choice(banks)
         current_row = rows[0]
         current_column = 0
+        current_channel = 0
         average_bubble = spec.average_bubble
 
         for _ in range(num_requests):
@@ -131,12 +140,20 @@ class SyntheticWorkloadGenerator:
                 )
             else:
                 current_bank = rng.choice(banks)
+                # Only draw a channel when there is a choice: single-channel
+                # traces must consume the RNG exactly as they did before the
+                # channel fabric existed (bit-identical generation).
+                if len(channels) > 1:
+                    current_channel = rng.choice(channels)
                 current_row = rows[self._pick_row_index(rng, cumulative)]
                 current_column = rng.randrange(
                     0, org.columns_per_row, org.columns_per_cacheline
                 )
             address = self.mapper.address_for_row(
-                current_row, bank_index=current_bank, column=current_column
+                current_row,
+                bank_index=current_bank,
+                column=current_column,
+                channel=current_channel,
             )
             is_write = rng.random() < spec.write_fraction
             bubble = self._sample_bubble(rng, average_bubble)

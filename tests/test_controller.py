@@ -1,10 +1,8 @@
 """Tests for the FR-FCFS memory controller."""
 
-import pytest
 
 from repro.controller.controller import ControllerConfig, MemoryController
 from repro.controller.request import MemoryRequest, RequestType
-from repro.dram.commands import CommandKind
 from repro.mitigations.none import NoMitigation
 
 
@@ -165,7 +163,7 @@ class TestRefresh:
         span = tiny_dram_config.tREFI * 3
         request = read_request(controller, 1)
         controller.enqueue(request, 0)
-        cycle = run_until_idle(controller)
+        run_until_idle(controller)
         # Jump past several refresh intervals and give the controller work.
         late = read_request(controller, 2, cycle=span)
         controller.enqueue(late, span)

@@ -8,7 +8,6 @@ throttling delaying commands, REGA's timing rewrite, and CoMeT's early
 preventive refresh issuing real REF bursts.
 """
 
-import pytest
 
 from repro.controller.controller import MemoryController
 from repro.controller.request import MemoryRequest, RequestType

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.controller.controller import ControllerConfig, MemoryController
 from repro.cpu.cache import CacheConfig, LastLevelCache

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dram.address import AddressMapper, DRAMAddress
-from repro.dram.config import DRAMConfig, small_test_config
+from repro.dram.config import DRAMConfig
 
 
 @pytest.fixture

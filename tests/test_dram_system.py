@@ -4,7 +4,6 @@ import pytest
 
 from repro.dram.bank import TimingViolation
 from repro.dram.commands import Command, CommandKind
-from repro.dram.config import small_test_config
 from repro.dram.dram_system import DRAMSystem
 
 

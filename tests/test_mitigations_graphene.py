@@ -1,6 +1,5 @@
 """Tests for the Graphene (Misra-Gries) mitigation."""
 
-import pytest
 
 from repro.mitigations.graphene import Graphene, GrapheneConfig
 from tests.conftest import make_address

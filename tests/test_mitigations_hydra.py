@@ -1,6 +1,5 @@
 """Tests for the Hydra mitigation (hybrid group / per-row tracking)."""
 
-import pytest
 
 from repro.mitigations.hydra import Hydra, HydraConfig
 from tests.conftest import make_address

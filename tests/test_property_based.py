@@ -15,7 +15,6 @@ These check the properties the paper's security argument rests on:
 
 from collections import Counter
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.comet import CoMeT
@@ -161,7 +160,6 @@ class TestCoMeTNeverUnderestimates:
         npr = comet_config.npr
 
         since_refresh = Counter()
-        refreshed_rows = []
 
         for cycle, row in enumerate(stream):
             address = make_address(config, row=row)

@@ -221,9 +221,9 @@ class TestKernelResults:
             if force_recheck:
                 original = kernel._schedule_controller
 
-                def always_recheck():
-                    original()
-                    kernel._controller_recheck = True
+                def always_recheck(index):
+                    original(index)
+                    kernel._ctl_recheck[index] = True
 
                 kernel._schedule_controller = always_recheck
             final = kernel.run()
