@@ -11,10 +11,12 @@ Every benchmark regenerates one table or figure of the CoMeT paper
   rows/series the paper reports) and also writes them to
   ``benchmarks/results/``.
 
-Since the sweep-executor refactor every simulation goes through
-:func:`repro.sim.sweep.execute_point`, the same entry point the
-:class:`~repro.sim.sweep.SweepRunner` workers use, so benchmark runs can
-share the sweep executor's on-disk result cache.
+Every simulation is described as an
+:class:`~repro.experiment.spec.ExperimentSpec` and executed through
+:func:`repro.experiment.execute.execute_spec`, the same execution core the
+:class:`~repro.experiment.session.Session` facade and the sweep workers
+use, so benchmark runs can share the sweep executor's on-disk result cache
+(keys are the specs' canonical-JSON content hashes).
 
 Environment knobs:
 
@@ -34,8 +36,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.dram.dram_system import DRAMStatistics
 from repro.energy.model import DRAMEnergyModel
-from repro.sim.runner import default_experiment_config
-from repro.sim.sweep import SweepCache, SweepPoint, execute_point, point_cache_key
+from repro.experiment.execute import execute_spec
+from repro.experiment.spec import ExperimentSpec, MitigationSpec, WorkloadSpec
+from repro.sim.sweep import SweepCache, spec_cache_key
 from repro.sim.system import SimulationResult
 from repro.workloads.suite import workload_names
 
@@ -79,14 +82,14 @@ def recorded_results() -> List[Tuple[str, str]]:
 class SimulationCache:
     """Caches traces and simulation results across benchmark files.
 
-    Every simulation is expressed as a :class:`~repro.sim.sweep.SweepPoint`
-    and executed through :func:`~repro.sim.sweep.execute_point`, so results
-    are interchangeable with (and, when ``REPRO_BENCH_DISK_CACHE`` is set,
-    shared with) the sweep executor's cache.
+    Every simulation is described as an
+    :class:`~repro.experiment.spec.ExperimentSpec` and executed through
+    :func:`~repro.experiment.execute.execute_spec`, so results are
+    interchangeable with (and, when ``REPRO_BENCH_DISK_CACHE`` is set,
+    shared with) the Session/sweep executor's cache.
     """
 
     def __init__(self) -> None:
-        self.dram_config = default_experiment_config()
         self.energy_model = DRAMEnergyModel(num_ranks=2)
         self._results: Dict[Tuple, SimulationResult] = {}
         disk_dir = os.environ.get("REPRO_BENCH_DISK_CACHE")
@@ -94,16 +97,36 @@ class SimulationCache:
             SweepCache(Path(disk_dir)) if disk_dir else None
         )
 
-    def _simulate(self, point: SweepPoint) -> SimulationResult:
+    def simulate(self, spec: ExperimentSpec) -> SimulationResult:
+        """Execute one spec through the optional on-disk result cache."""
         if self.disk_cache is not None:
-            key = point_cache_key(point, self.dram_config, None)
+            key = spec_cache_key(spec)
             cached = self.disk_cache.get(key)
             if cached is not None:
                 return cached
-        result = execute_point(point, dram_config=self.dram_config)
+        result = execute_spec(spec)
         if self.disk_cache is not None:
             self.disk_cache.put(key, result)
         return result
+
+    def _spec(
+        self,
+        workload: str,
+        mitigation: str,
+        nrh: int,
+        num_requests: int,
+        num_cores: int = 1,
+        overrides: Optional[dict] = None,
+    ) -> ExperimentSpec:
+        return ExperimentSpec(
+            workload=WorkloadSpec(
+                name=workload, num_requests=num_requests, num_cores=num_cores
+            ),
+            mitigation=MitigationSpec(
+                name=mitigation, nrh=nrh, overrides=overrides or ()
+            ),
+            verify_security=mitigation != "none",
+        )
 
     # -- single-core runs --------------------------------------------------
     def run(
@@ -119,14 +142,13 @@ class SimulationCache:
             nrh = 0  # the baseline is threshold-independent; share one run
         key = ("run", workload, mitigation, nrh, num_requests, overrides_key)
         if key not in self._results:
-            self._results[key] = self._simulate(
-                SweepPoint(
-                    workload=workload,
-                    mitigation=mitigation,
+            self._results[key] = self.simulate(
+                self._spec(
+                    workload,
+                    mitigation,
                     nrh=max(1, nrh) if mitigation == "none" else nrh,
                     num_requests=num_requests,
-                    mitigation_overrides=overrides,
-                    verify_security=mitigation != "none",
+                    overrides=overrides,
                 )
             )
         return self._results[key]
@@ -149,15 +171,14 @@ class SimulationCache:
             nrh = 0
         key = ("mc_run", workload, mitigation, nrh, num_cores, num_requests, overrides_key)
         if key not in self._results:
-            self._results[key] = self._simulate(
-                SweepPoint(
-                    workload=workload,
-                    mitigation=mitigation,
+            self._results[key] = self.simulate(
+                self._spec(
+                    workload,
+                    mitigation,
                     nrh=max(1, nrh) if mitigation == "none" else nrh,
                     num_requests=num_requests,
                     num_cores=num_cores,
-                    mitigation_overrides=overrides,
-                    verify_security=mitigation != "none",
+                    overrides=overrides,
                 )
             )
         return self._results[key]

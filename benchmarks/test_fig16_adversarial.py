@@ -8,8 +8,13 @@ NRH = 125 (targeted attacks):
     workload — CoMeT's overhead on the benign application stays small and
     below PARA's;
 (b) mechanism-targeted attacks — a RAT-thrashing attack against CoMeT and a
-    group-counter-saturation attack against Hydra — where the paper reports
-    CoMeT outperforming Hydra by 42.1% on average.
+    group-counter-saturation attack against Hydra.  The two attack traces
+    have very different intrinsic memory contention (the RAT-thrasher
+    serializes on a single bank and starves the benign core even with *no*
+    mitigation attached), so each mechanism's benign-core IPC is normalized
+    to the same mix under the unprotected baseline: the normalized value
+    isolates the *mitigation-induced* slowdown, which is what the paper
+    compares (CoMeT's bounded worst case beats Hydra's counter traffic).
 
 Every protected run must remain secure (no victim row reaches NRH aggressor
 activations without a refresh).
@@ -18,13 +23,7 @@ activations without a refresh).
 from _bench_utils import MULTICORE_REQUESTS, record, run_once
 from repro.analysis.reporting import format_table
 from repro.core.config import CoMeTConfig
-from repro.sim.runner import run_multi_core
-from repro.workloads.attacks import (
-    comet_targeted_attack,
-    hydra_targeted_attack,
-    traditional_rowhammer_attack,
-)
-from repro.workloads.suite import build_trace
+from repro.experiment.spec import ExperimentSpec, MitigationSpec, WorkloadSpec
 
 BENIGN = "429.mcf"
 TRADITIONAL_NRH = 500
@@ -32,29 +31,33 @@ TARGETED_NRH = 125
 MECHANISMS_A = ["none", "comet", "graphene", "hydra", "para"]
 
 
-def _benign_plus_attack(sim_cache, attack_trace, mechanism, nrh):
-    benign_trace = build_trace(
-        BENIGN, num_requests=MULTICORE_REQUESTS * 2, dram_config=sim_cache.dram_config
+def _mix(attack_name: str, **attack_params) -> WorkloadSpec:
+    """One benign core plus one attacker core (the Figure 16 pattern)."""
+    requests = MULTICORE_REQUESTS * 2
+    return WorkloadSpec(
+        name=f"{BENIGN}+{attack_name}",
+        num_requests=requests,
+        mix=(
+            WorkloadSpec(name=BENIGN, num_requests=requests),
+            WorkloadSpec(name=attack_name, num_requests=requests, params=attack_params),
+        ),
     )
-    result = run_multi_core(
-        [benign_trace, attack_trace],
-        mechanism,
-        nrh=nrh,
-        dram_config=sim_cache.dram_config,
-        verify_security=mechanism != "none",
-        name=f"{BENIGN}+{attack_trace.name}",
+
+
+def _benign_plus_attack(sim_cache, mix_workload, mechanism, nrh):
+    return sim_cache.simulate(
+        ExperimentSpec(
+            workload=mix_workload,
+            mitigation=MitigationSpec(name=mechanism, nrh=nrh),
+            verify_security=mechanism != "none",
+        )
     )
-    return result
 
 
 def _experiment(sim_cache):
     rows_a = []
     benign_ipc_a = {}
-    traditional = traditional_rowhammer_attack(
-        num_requests=MULTICORE_REQUESTS * 2,
-        dram_config=sim_cache.dram_config,
-        aggressor_rows_per_bank=2,
-    )
+    traditional = _mix("attack_traditional", aggressor_rows_per_bank=2)
     for mechanism in MECHANISMS_A:
         result = _benign_plus_attack(sim_cache, traditional, mechanism, TRADITIONAL_NRH)
         benign_ipc_a[mechanism] = result.per_core_ipc[0]
@@ -71,38 +74,49 @@ def _experiment(sim_cache):
             row["benign_core_IPC"] / benign_ipc_a["none"], 4
         ) if benign_ipc_a["none"] else 0.0
 
-    # (b) mechanism-targeted attacks.
+    # (b) mechanism-targeted attacks.  Each targeted mix also runs under the
+    # unprotected baseline so the mechanisms' benign-core slowdowns can be
+    # compared on equal footing (the two attack traces contend differently).
     npr = CoMeTConfig(nrh=TARGETED_NRH).npr
-    comet_attack = comet_targeted_attack(
-        num_requests=MULTICORE_REQUESTS * 2,
-        distinct_rows=64,
-        npr=npr,
-        dram_config=sim_cache.dram_config,
-    )
-    hydra_attack = hydra_targeted_attack(
-        num_requests=MULTICORE_REQUESTS * 2, dram_config=sim_cache.dram_config
-    )
-    comet_result = _benign_plus_attack(sim_cache, comet_attack, "comet", TARGETED_NRH)
-    hydra_result = _benign_plus_attack(sim_cache, hydra_attack, "hydra", TARGETED_NRH)
+    comet_mix = _mix("attack_comet_targeted", distinct_rows=64, npr=npr)
+    hydra_mix = _mix("attack_hydra_targeted")
+    comet_result = _benign_plus_attack(sim_cache, comet_mix, "comet", TARGETED_NRH)
+    hydra_result = _benign_plus_attack(sim_cache, hydra_mix, "hydra", TARGETED_NRH)
+    comet_unprot = _benign_plus_attack(sim_cache, comet_mix, "none", TARGETED_NRH)
+    hydra_unprot = _benign_plus_attack(sim_cache, hydra_mix, "none", TARGETED_NRH)
+    norm_b = {
+        "comet": (
+            comet_result.per_core_ipc[0] / comet_unprot.per_core_ipc[0]
+            if comet_unprot.per_core_ipc[0]
+            else 0.0
+        ),
+        "hydra": (
+            hydra_result.per_core_ipc[0] / hydra_unprot.per_core_ipc[0]
+            if hydra_unprot.per_core_ipc[0]
+            else 0.0
+        ),
+    }
     rows_b = [
         {
             "mitigation": "comet (RAT-thrashing attack)",
             "benign_core_IPC": round(comet_result.per_core_ipc[0], 4),
+            "norm_to_unprotected": round(norm_b["comet"], 4),
             "secure": comet_result.security_ok,
             "early_refreshes": comet_result.early_refresh_operations,
         },
         {
             "mitigation": "hydra (group-counter attack)",
             "benign_core_IPC": round(hydra_result.per_core_ipc[0], 4),
+            "norm_to_unprotected": round(norm_b["hydra"], 4),
             "secure": hydra_result.security_ok,
             "early_refreshes": 0,
         },
     ]
-    return rows_a, rows_b, benign_ipc_a, comet_result, hydra_result
+    return rows_a, rows_b, benign_ipc_a, norm_b, comet_result, hydra_result
 
 
 def test_fig16_adversarial_workloads(benchmark, sim_cache):
-    rows_a, rows_b, benign_ipc_a, comet_result, hydra_result = run_once(
+    rows_a, rows_b, benign_ipc_a, norm_b, comet_result, hydra_result = run_once(
         benchmark, lambda: _experiment(sim_cache)
     )
     text_a = format_table(
@@ -121,6 +135,7 @@ def test_fig16_adversarial_workloads(benchmark, sim_cache):
 
     # (a) CoMeT's benign-core slowdown under attack is no worse than PARA's.
     assert benign_ipc_a["comet"] >= benign_ipc_a["para"] - 1e-6
-    # (b) Under its own targeted attack CoMeT still keeps the benign core at
-    # least as fast as Hydra keeps it under Hydra's targeted attack.
-    assert comet_result.per_core_ipc[0] >= hydra_result.per_core_ipc[0] * 0.8
+    # (b) Normalized to the same attack mix without protection, CoMeT slows
+    # the benign core no more under its targeted attack than Hydra does under
+    # Hydra's (the paper's Figure 16b ordering).
+    assert norm_b["comet"] >= norm_b["hydra"] - 1e-6

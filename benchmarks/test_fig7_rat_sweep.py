@@ -11,8 +11,7 @@ evictions, capacity misses and early preventive refreshes.
 from _bench_utils import bench_workloads, record, run_once
 from repro.analysis.reporting import format_table
 from repro.core.config import CoMeTConfig
-from repro.sim.runner import run_single_core
-from repro.workloads.attacks import comet_targeted_attack
+from repro.experiment.spec import ExperimentSpec, MitigationSpec, WorkloadSpec
 
 RAT_SIZES = [4, 32, 128, 512]
 NRH = 125
@@ -25,11 +24,10 @@ def _experiment(sim_cache):
 
     workload = bench_workloads()[0]
     baseline = sim_cache.baseline(workload)
-    attack_trace = comet_targeted_attack(
+    attack_workload = WorkloadSpec(
+        name="attack_comet_targeted",
         num_requests=6000,
-        distinct_rows=48,
-        npr=CoMeTConfig(nrh=NRH).npr,
-        dram_config=sim_cache.dram_config,
+        params={"distinct_rows": 48, "npr": CoMeTConfig(nrh=NRH).npr},
     )
 
     for rat_entries in RAT_SIZES:
@@ -43,12 +41,13 @@ def _experiment(sim_cache):
         )
         benign_ipc[rat_entries] = sim_cache.normalized_ipc(benign, baseline)
 
-        attack = run_single_core(
-            attack_trace,
-            "comet",
-            nrh=NRH,
-            dram_config=sim_cache.dram_config,
-            mitigation_overrides={"config": config},
+        attack = sim_cache.simulate(
+            ExperimentSpec(
+                workload=attack_workload,
+                mitigation=MitigationSpec(
+                    name="comet", nrh=NRH, overrides={"config": config}
+                ),
+            )
         )
         attack_evictions[rat_entries] = attack.mitigation_stats.get("rat_evictions", 0)
         rows.append(

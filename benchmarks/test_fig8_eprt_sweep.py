@@ -15,8 +15,7 @@ fraction of the simulation cost.
 from _bench_utils import record, run_once
 from repro.analysis.reporting import format_table
 from repro.core.config import CoMeTConfig
-from repro.sim.runner import run_single_core
-from repro.workloads.attacks import comet_targeted_attack
+from repro.experiment.spec import ExperimentSpec, MitigationSpec, WorkloadSpec
 
 NRH = 125
 SETTINGS = [
@@ -28,11 +27,10 @@ SETTINGS = [
 
 
 def _experiment(sim_cache):
-    attack_trace = comet_targeted_attack(
+    attack_workload = WorkloadSpec(
+        name="attack_comet_targeted",
         num_requests=8000,
-        distinct_rows=48,
-        npr=CoMeTConfig(nrh=NRH).npr,
-        dram_config=sim_cache.dram_config,
+        params={"distinct_rows": 48, "npr": CoMeTConfig(nrh=NRH).npr},
     )
     rows = []
     early_counts = {}
@@ -43,12 +41,13 @@ def _experiment(sim_cache):
             rat_miss_history_length=history,
             early_refresh_threshold_fraction=fraction,
         )
-        result = run_single_core(
-            attack_trace,
-            "comet",
-            nrh=NRH,
-            dram_config=sim_cache.dram_config,
-            mitigation_overrides={"config": config},
+        result = sim_cache.simulate(
+            ExperimentSpec(
+                workload=attack_workload,
+                mitigation=MitigationSpec(
+                    name="comet", nrh=NRH, overrides={"config": config}
+                ),
+            )
         )
         early_counts[(history, fraction)] = result.early_refresh_operations
         rows.append(

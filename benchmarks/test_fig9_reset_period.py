@@ -13,9 +13,8 @@ attack at NRH = 125, reporting normalized IPC and preventive refresh counts.
 from _bench_utils import bench_workloads, record, run_once
 from repro.analysis.reporting import format_table
 from repro.core.config import CoMeTConfig
+from repro.experiment.spec import ExperimentSpec, MitigationSpec, WorkloadSpec
 from repro.sim.metrics import geometric_mean
-from repro.sim.runner import run_single_core
-from repro.workloads.attacks import traditional_rowhammer_attack
 
 NRH = 125
 K_VALUES = [1, 2, 3, 4]
@@ -23,8 +22,10 @@ K_VALUES = [1, 2, 3, 4]
 
 def _experiment(sim_cache):
     workloads = bench_workloads()[:2]
-    attack_trace = traditional_rowhammer_attack(
-        num_requests=6000, dram_config=sim_cache.dram_config, aggressor_rows_per_bank=2
+    attack_workload = WorkloadSpec(
+        name="attack_traditional",
+        num_requests=6000,
+        params={"aggressor_rows_per_bank": 2},
     )
     rows = []
     benign_ipc = {}
@@ -46,12 +47,13 @@ def _experiment(sim_cache):
             preventive += result.preventive_refreshes
         benign_ipc[k] = geometric_mean(normalized)
 
-        attack = run_single_core(
-            attack_trace,
-            "comet",
-            nrh=NRH,
-            dram_config=sim_cache.dram_config,
-            mitigation_overrides={"config": config},
+        attack = sim_cache.simulate(
+            ExperimentSpec(
+                workload=attack_workload,
+                mitigation=MitigationSpec(
+                    name="comet", nrh=NRH, overrides={"config": config}
+                ),
+            )
         )
         attack_refreshes[k] = attack.preventive_refreshes
         rows.append(

@@ -13,21 +13,31 @@ threshold (NRH = 125), then reports:
 It then repeats the exercise with the CoMeT-targeted (RAT-thrashing) attack
 to show the early-preventive-refresh mechanism kicking in.
 
+Attack traces are ordinary registered workloads (``attack_traditional``,
+``attack_comet_targeted``, ...), so an attack experiment is just an
+:class:`repro.ExperimentSpec` whose workload names one and carries the
+generator's knobs in ``params``.
+
 Run with:  python examples/attack_defense.py
 """
 
+from repro import ExperimentSpec, ExperimentWorkloadSpec, MitigationSpec, Session
 from repro.analysis.reporting import format_table
-from repro.sim.runner import default_experiment_config, run_single_core
-from repro.workloads.attacks import comet_targeted_attack, traditional_rowhammer_attack
 
 NRH = 125
 MECHANISMS = ["none", "comet", "graphene", "hydra", "para", "blockhammer"]
 
 
-def run_attack(attack_trace, dram_config, mechanisms=MECHANISMS, nrh=NRH):
+def run_attack(session, attack_workload, mechanisms=MECHANISMS, nrh=NRH):
     rows = []
     for name in mechanisms:
-        result = run_single_core(attack_trace, name, nrh=nrh, dram_config=dram_config)
+        # The baseline is verified too: watching the unprotected system
+        # violate the RowHammer invariant is the point of the exercise.
+        spec = ExperimentSpec(
+            workload=attack_workload,
+            mitigation=MitigationSpec(name=name, nrh=nrh),
+        )
+        result = session.run(spec).result
         rows.append(
             {
                 "mitigation": name,
@@ -42,27 +52,31 @@ def run_attack(attack_trace, dram_config, mechanisms=MECHANISMS, nrh=NRH):
 
 
 def main() -> None:
-    dram_config = default_experiment_config()
+    session = Session(use_cache=False)
 
     print(f"RowHammer threshold NRH = {NRH}\n")
 
-    traditional = traditional_rowhammer_attack(
-        num_requests=6000, dram_config=dram_config, aggressor_rows_per_bank=2
+    traditional = ExperimentWorkloadSpec(
+        name="attack_traditional",
+        num_requests=6000,
+        params={"aggressor_rows_per_bank": 2},
     )
     print(
         format_table(
-            run_attack(traditional, dram_config),
+            run_attack(session, traditional),
             title="Traditional many-row RowHammer attack (Figure 16a scenario)",
         )
     )
     print()
 
-    targeted = comet_targeted_attack(
-        num_requests=6000, distinct_rows=48, npr=NRH // 4, dram_config=dram_config
+    targeted = ExperimentWorkloadSpec(
+        name="attack_comet_targeted",
+        num_requests=6000,
+        params={"distinct_rows": 48, "npr": NRH // 4},
     )
     print(
         format_table(
-            run_attack(targeted, dram_config, mechanisms=["none", "comet", "hydra"]),
+            run_attack(session, targeted, mechanisms=["none", "comet", "hydra"]),
             title="CoMeT-targeted RAT-thrashing attack (Figure 16b scenario)",
         )
     )

@@ -11,17 +11,20 @@ Three sweeps on a memory-intensive workload at a very low RowHammer threshold:
   often (fewer saturated counters) but lowers NPR = NRH/(k+1), so k=3 is the
   sweet spot the paper selects.
 
-All three sweeps (plus the shared baseline) are expressed as
-:class:`repro.sim.sweep.SweepPoint` grids and executed in one
-:class:`repro.sim.sweep.SweepRunner` batch: points fan out across worker
-processes and cached results are reused across runs.
+Each configuration is an :class:`repro.ExperimentSpec` whose mitigation
+carries a :class:`~repro.core.config.CoMeTConfig` override — config
+dataclasses serialize right inside the spec JSON, so these sensitivity
+points are cacheable and archivable like any other experiment.  All three
+sweeps (plus the shared baseline) execute in one :class:`repro.Session`
+batch: specs fan out across worker processes and cached results are reused
+across runs.
 
 Run with:  python examples/design_space_exploration.py
 """
 
+from repro import ExperimentSpec, ExperimentWorkloadSpec, MitigationSpec, Session
 from repro.analysis.reporting import format_table
 from repro.core.config import CoMeTConfig
-from repro.sim.sweep import SweepPoint, SweepRunner
 
 NRH = 125
 WORKLOAD = "429.mcf"
@@ -31,44 +34,42 @@ CT_PAIRS = [(h, c) for h in (1, 2, 4) for c in (128, 512)]
 RAT_SIZES = [32, 128, 512]
 RESET_DIVIDERS = [1, 2, 3, 4]
 
+WORKLOAD_SPEC = ExperimentWorkloadSpec(name=WORKLOAD, num_requests=NUM_REQUESTS)
 
-def comet_point(config: CoMeTConfig) -> SweepPoint:
-    return SweepPoint(
-        workload=WORKLOAD,
-        mitigation="comet",
-        nrh=NRH,
-        num_requests=NUM_REQUESTS,
-        mitigation_overrides={"config": config},
+
+def comet_spec(config: CoMeTConfig) -> ExperimentSpec:
+    return ExperimentSpec(
+        workload=WORKLOAD_SPEC,
+        mitigation=MitigationSpec(name="comet", nrh=NRH, overrides={"config": config}),
     )
 
 
 def main() -> None:
-    baseline_point = SweepPoint(
-        workload=WORKLOAD,
-        mitigation="none",
-        nrh=NRH,
-        num_requests=NUM_REQUESTS,
+    baseline_spec = ExperimentSpec(
+        workload=WORKLOAD_SPEC,
+        mitigation=MitigationSpec(name="none", nrh=NRH),
         verify_security=False,
     )
-    ct_points = [
-        comet_point(CoMeTConfig(nrh=NRH, num_hashes=h, counters_per_hash=c))
+    ct_specs = [
+        comet_spec(CoMeTConfig(nrh=NRH, num_hashes=h, counters_per_hash=c))
         for h, c in CT_PAIRS
     ]
-    rat_points = [
-        comet_point(CoMeTConfig(nrh=NRH, rat_entries=entries)) for entries in RAT_SIZES
+    rat_specs = [
+        comet_spec(CoMeTConfig(nrh=NRH, rat_entries=entries)) for entries in RAT_SIZES
     ]
-    reset_points = [
-        comet_point(CoMeTConfig(nrh=NRH, reset_period_divider=k))
+    reset_specs = [
+        comet_spec(CoMeTConfig(nrh=NRH, reset_period_divider=k))
         for k in RESET_DIVIDERS
     ]
 
-    runner = SweepRunner()
-    all_points = [baseline_point, *ct_points, *rat_points, *reset_points]
-    results = runner.run(all_points)
+    session = Session()
+    all_specs = [baseline_spec, *ct_specs, *rat_specs, *reset_specs]
+    records = session.run_many(all_specs)
+    results = [record.result for record in records]
     baseline, results = results[0], results[1:]
-    ct_results = results[: len(ct_points)]
-    rat_results = results[len(ct_points) : len(ct_points) + len(rat_points)]
-    reset_results = results[len(ct_points) + len(rat_points) :]
+    ct_results = results[: len(ct_specs)]
+    rat_results = results[len(ct_specs) : len(ct_specs) + len(rat_specs)]
+    reset_results = results[len(ct_specs) + len(rat_specs) :]
 
     # ------------------------------------------------------------------ #
     # Figure 6: Counter Table geometry sweep

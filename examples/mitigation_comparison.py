@@ -6,19 +6,21 @@ of Table 3 plus an extra high-intensity one), the example runs every
 mitigation at two RowHammer thresholds and prints normalized IPC and
 normalized DRAM energy, the two headline metrics of the paper's evaluation.
 
-The whole grid goes through :class:`repro.sim.sweep.SweepRunner`, so the runs
-fan out across worker processes and land in the on-disk result cache —
-re-running the example (or any other sweep sharing points with it) is nearly
-instant.
+The whole grid is expressed declaratively: :func:`repro.expand_grid` expands
+workloads x mitigations x thresholds into :class:`repro.ExperimentSpec`
+objects (plus one threshold-independent baseline per workload) and a
+:class:`repro.Session` executes them — runs fan out across worker processes
+and land in the on-disk result cache, so re-running the example (or any
+other sweep sharing specs with it) is nearly instant.
 
 Run with:  python examples/mitigation_comparison.py
 """
 
+from repro import Session, expand_grid
 from repro.analysis.reporting import format_table
 from repro.energy.model import DRAMEnergyModel
 from repro.dram.dram_system import DRAMStatistics
 from repro.sim.metrics import geometric_mean
-from repro.sim.sweep import SweepRunner
 
 WORKLOADS = ["519.lbm", "429.mcf", "462.libquantum", "502.gcc"]
 MECHANISMS = ["comet", "graphene", "hydra", "rega", "para"]
@@ -37,16 +39,23 @@ def to_stats(result) -> DRAMStatistics:
 def main() -> None:
     energy_model = DRAMEnergyModel(num_ranks=2)
 
-    points = SweepRunner.grid(
+    specs = expand_grid(
         workloads=WORKLOADS,
         mitigations=MECHANISMS,
         nrhs=THRESHOLDS,
         num_requests=NUM_REQUESTS,
     )
-    runner = SweepRunner()
-    point_results = list(zip(points, runner.run(points)))
-    results = {(p.workload, p.mitigation, p.nrh): r for p, r in point_results}
-    baselines = {p.workload: r for p, r in point_results if p.mitigation == "none"}
+    session = Session()
+    records = session.run_many(specs)
+    results = {
+        (s.workload.name, s.mitigation.name, s.mitigation.nrh): r.result
+        for s, r in zip(specs, records)
+    }
+    baselines = {
+        s.workload.name: r.result
+        for s, r in zip(specs, records)
+        if s.mitigation.name == "none"
+    }
 
     for nrh in THRESHOLDS:
         rows = []

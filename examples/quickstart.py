@@ -1,43 +1,62 @@
 #!/usr/bin/env python3
 """Quickstart: protect a workload with CoMeT and measure its overhead.
 
-This example walks through the library's main entry points:
+This example walks through the declarative experiment API, the library's
+front door for every kind of run:
 
-1. generate a synthetic workload trace from the built-in 61-workload suite;
-2. run it on the unprotected baseline system and on a CoMeT-protected system
-   at two RowHammer thresholds (1K and 125, the extremes of the paper);
+1. describe the experiment as an :class:`repro.ExperimentSpec` — a workload
+   reference (name + trace length), a mitigation (name + RowHammer
+   threshold) and the simulated platform;
+2. execute it through a :class:`repro.Session`, which caches results and
+   returns a :class:`repro.RunRecord` (spec + result + provenance) that
+   serializes to JSON;
 3. report normalized IPC, DRAM energy, preventive refresh counts and the
-   security verifier's verdict;
+   security verifier's verdict at two thresholds (1K and 125, the extremes
+   of the paper);
 4. print CoMeT's storage/area footprint (Table 4's CoMeT rows).
+
+The same spec objects drive the CLI (``python -m repro.cli run --spec``),
+the comparison/sweep examples and the benchmark harnesses.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import build_trace, run_single_core, normalized_ipc
+from repro import ExperimentSpec, ExperimentWorkloadSpec, MitigationSpec, Session
 from repro.analysis.reporting import format_table
 from repro.area.model import comet_area_report
 from repro.energy.model import DRAMEnergyModel
-from repro.sim.runner import default_experiment_config
+from repro.sim.runner import normalized_ipc
 
 
 def main() -> None:
-    dram_config = default_experiment_config()
     energy_model = DRAMEnergyModel(num_ranks=2)
+    session = Session(use_cache=False)
 
     # 429.mcf is one of the paper's high-memory-intensity workloads: lots of
     # row misses, skewed row popularity -- the kind of workload whose hot rows
     # approach the RowHammer threshold even without an attacker.
-    trace = build_trace("429.mcf", num_requests=8000, dram_config=dram_config)
-    print(f"workload: {trace.name}, {len(trace)} memory requests, "
-          f"{trace.total_instructions} instructions")
+    workload = ExperimentWorkloadSpec(name="429.mcf", num_requests=8000)
 
-    baseline = run_single_core(trace, "none", nrh=1000, dram_config=dram_config)
-    print(f"baseline IPC: {baseline.ipc:.3f}  "
+    baseline_record = session.run(
+        ExperimentSpec(
+            workload=workload,
+            mitigation=MitigationSpec(name="none", nrh=1000),
+            verify_security=False,
+        )
+    )
+    baseline = baseline_record.result
+    print(f"workload: {baseline.name}, baseline IPC {baseline.ipc:.3f}  "
           f"(avg read latency {baseline.average_read_latency:.1f} cycles)")
+    print(f"spec hash: {baseline_record.provenance['spec_hash'][:12]}  "
+          f"(the sweep-cache key of this exact experiment)")
 
     rows = []
     for nrh in (1000, 125):
-        result = run_single_core(trace, "comet", nrh=nrh, dram_config=dram_config)
+        spec = ExperimentSpec(
+            workload=workload,
+            mitigation=MitigationSpec(name="comet", nrh=nrh),
+        )
+        result = session.run(spec).result
         norm_ipc = normalized_ipc(result, baseline)
         norm_energy = energy_model.normalized_energy(
             # Recompute from raw stats so the comparison uses one model instance.

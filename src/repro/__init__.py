@@ -18,14 +18,21 @@ evaluation stack the paper builds it on:
 * :mod:`repro.workloads` — the synthetic 61-workload suite and attack traces.
 * :mod:`repro.sim`, :mod:`repro.analysis` — system assembly, experiment
   runners, metrics, the security verifier and tracker analysis.
+* :mod:`repro.experiment` — the declarative experiment API: typed,
+  JSON-round-trippable specs, component registries and the Session facade
+  every entry point (CLI, examples, benchmarks, sweeps) shares.
 
 Quickstart::
 
-    from repro import CoMeT, build_trace, run_single_core
+    from repro import ExperimentSpec, ExperimentWorkloadSpec, MitigationSpec, Session
 
-    trace = build_trace("429.mcf", num_requests=5000)
-    result = run_single_core(trace, "comet", nrh=1000)
-    print(result.summary())
+    record = Session().run(
+        ExperimentSpec(
+            workload=ExperimentWorkloadSpec(name="429.mcf", num_requests=5000),
+            mitigation=MitigationSpec(name="comet", nrh=1000),
+        )
+    )
+    print(record.result.summary())
 """
 
 from repro.core import CoMeT, CoMeTConfig, CounterTable, RecentAggressorTable
@@ -48,6 +55,15 @@ from repro.sim import (
     normalized_ipc,
 )
 from repro.sim.runner import default_experiment_config, build_mitigation
+from repro.experiment import (
+    ExperimentSpec,
+    MitigationSpec,
+    PlatformSpec,
+    RunRecord,
+    Session,
+    expand_grid,
+)
+from repro.experiment.spec import WorkloadSpec as ExperimentWorkloadSpec
 from repro.workloads import (
     WORKLOAD_SUITE,
     build_trace,
@@ -79,6 +95,13 @@ __all__ = [
     "normalized_ipc",
     "default_experiment_config",
     "build_mitigation",
+    "ExperimentSpec",
+    "ExperimentWorkloadSpec",
+    "MitigationSpec",
+    "PlatformSpec",
+    "Session",
+    "RunRecord",
+    "expand_grid",
     "WORKLOAD_SUITE",
     "build_trace",
     "build_multicore_traces",

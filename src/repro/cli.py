@@ -1,8 +1,10 @@
 """Command-line interface for quick experiments.
 
 Installed as the ``python -m repro.cli`` entry point (and importable as
-:func:`repro.cli.main`), the CLI exposes the most common experiment patterns
-without writing a script:
+:func:`repro.cli.main`), the CLI is a thin shell over the declarative
+experiment API (:mod:`repro.experiment`): every subcommand builds
+:class:`~repro.experiment.spec.ExperimentSpec` objects and executes them
+through a :class:`~repro.experiment.session.Session`.
 
 ``python -m repro.cli workloads``
     List the 61-workload suite grouped by memory-intensity category.
@@ -10,6 +12,10 @@ without writing a script:
 ``python -m repro.cli run --workload 429.mcf --mitigation comet --nrh 125``
     Run one workload under one mitigation and print the result summary
     (normalized IPC against the unprotected baseline included).
+
+``python -m repro.cli run --spec experiment.json [--out record.json]``
+    Run one serialized :class:`ExperimentSpec` end-to-end and print its
+    summary; ``--out`` archives the full :class:`RunRecord` as JSON.
 
 ``python -m repro.cli compare --workload 429.mcf --nrh 125``
     Run every mitigation on one workload and print a comparison table.
@@ -30,18 +36,21 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.area.model import comet_area_report, graphene_area_report, hydra_area_report
-from repro.sim.runner import (
-    MITIGATION_REGISTRY,
-    default_experiment_config,
-    run_single_core,
+from repro.experiment.registry import mitigation_names
+from repro.experiment.session import Session
+from repro.experiment.spec import (
+    ExperimentSpec,
+    MitigationSpec,
+    PlatformSpec,
+    WorkloadSpec,
+    expand_grid,
 )
-from repro.sim.sweep import SweepRunner
-from repro.workloads.attacks import traditional_rowhammer_attack
-from repro.workloads.suite import build_trace, workloads_by_category
+from repro.workloads.suite import workloads_by_category
 
 
 def _channel_count(value: str) -> int:
@@ -77,8 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--mitigation",
         default="comet",
-        choices=sorted(MITIGATION_REGISTRY),
+        choices=mitigation_names(),
         help="mitigation mechanism (default: comet)",
+    )
+    run_parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="run a serialized ExperimentSpec JSON file instead of the flags",
+    )
+    run_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="with --spec: also write the full RunRecord JSON here",
     )
 
     compare_parser = subparsers.add_parser(
@@ -92,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     attack_parser.add_argument(
         "--mitigation",
         default="comet",
-        choices=sorted(MITIGATION_REGISTRY),
+        choices=mitigation_names(),
         help="mitigation mechanism (default: comet)",
     )
     attack_parser.add_argument("--nrh", type=int, default=125, help="RowHammer threshold")
@@ -118,7 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--mitigations",
         nargs="+",
         default=["comet"],
-        choices=sorted(MITIGATION_REGISTRY),
+        choices=mitigation_names(),
         help="mitigation mechanisms to sweep",
     )
     sweep_parser.add_argument(
@@ -158,6 +179,17 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _session(args: Optional[argparse.Namespace] = None) -> Session:
+    """A Session honouring the sweep flags (other commands run uncached)."""
+    if args is not None and hasattr(args, "workers"):
+        return Session(
+            max_workers=args.workers,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+    return Session(max_workers=0, use_cache=False)
+
+
 def _command_workloads(_args: argparse.Namespace) -> str:
     rows = []
     for category, names in workloads_by_category().items():
@@ -167,10 +199,16 @@ def _command_workloads(_args: argparse.Namespace) -> str:
 
 
 def _command_run(args: argparse.Namespace) -> str:
-    dram_config = default_experiment_config(channels=args.channels)
-    trace = build_trace(args.workload, num_requests=args.requests, dram_config=dram_config)
-    baseline = run_single_core(trace, "none", nrh=args.nrh, dram_config=dram_config)
-    result = run_single_core(trace, args.mitigation, nrh=args.nrh, dram_config=dram_config)
+    if args.spec is not None:
+        return _run_spec_file(args)
+    session = _session()
+    records = session.compare(
+        WorkloadSpec(name=args.workload, num_requests=args.requests),
+        [args.mitigation],
+        nrh=args.nrh,
+        platform=PlatformSpec(channels=args.channels),
+    )
+    baseline, result = records["none"].result, records[args.mitigation].result
     normalized = result.ipc / baseline.ipc if baseline.ipc else 0.0
     rows = [
         {
@@ -186,15 +224,46 @@ def _command_run(args: argparse.Namespace) -> str:
     return format_table(rows, title="single-core run")
 
 
+def _run_spec_file(args: argparse.Namespace) -> str:
+    spec_path = Path(args.spec)
+    try:
+        spec = ExperimentSpec.from_json(spec_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SystemExit(f"spec file not found: {spec_path}")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid experiment spec {spec_path}: {exc}")
+    record = _session().run(spec)
+    if args.out is not None:
+        Path(args.out).write_text(record.to_json() + "\n", encoding="utf-8")
+    result = record.result
+    rows = [
+        {
+            "experiment": spec.run_name(),
+            "mitigation": spec.mitigation.name,
+            "nrh": spec.mitigation.nrh,
+            "channels": spec.platform.channel_count,
+            "ipc": round(result.ipc, 4),
+            "preventive_refreshes": result.preventive_refreshes,
+            "secure": result.security_ok,
+            "spec_hash": record.provenance["spec_hash"][:12],
+        }
+    ]
+    return format_table(rows, title=f"spec run ({spec_path.name})")
+
+
 def _command_compare(args: argparse.Namespace) -> str:
-    dram_config = default_experiment_config(channels=args.channels)
-    trace = build_trace(args.workload, num_requests=args.requests, dram_config=dram_config)
-    baseline = run_single_core(trace, "none", nrh=args.nrh, dram_config=dram_config)
+    session = _session()
+    mitigations = [name for name in mitigation_names() if name != "none"]
+    records = session.compare(
+        WorkloadSpec(name=args.workload, num_requests=args.requests),
+        mitigations,
+        nrh=args.nrh,
+        platform=PlatformSpec(channels=args.channels),
+    )
+    baseline = records["none"].result
     rows = []
-    for name in sorted(MITIGATION_REGISTRY):
-        if name == "none":
-            continue
-        result = run_single_core(trace, name, nrh=args.nrh, dram_config=dram_config)
+    for name in mitigations:
+        result = records[name].result
         rows.append(
             {
                 "mitigation": name,
@@ -214,14 +283,18 @@ def _command_attack(args: argparse.Namespace) -> str:
             f"--target-channel {args.target_channel} is out of range for "
             f"--channels {args.channels} (valid: 0..{args.channels - 1})"
         )
-    dram_config = default_experiment_config(channels=args.channels)
-    attack = traditional_rowhammer_attack(
-        num_requests=args.requests,
-        dram_config=dram_config,
-        aggressor_rows_per_bank=2,
-        channel=args.target_channel,
+    # The baseline is verified too: `attack --mitigation none` reporting the
+    # RowHammer violation (secure: no) is the point of the command.
+    spec = ExperimentSpec(
+        workload=WorkloadSpec(
+            name="attack_traditional",
+            num_requests=args.requests,
+            params={"aggressor_rows_per_bank": 2, "channel": args.target_channel},
+        ),
+        mitigation=MitigationSpec(name=args.mitigation, nrh=args.nrh),
+        platform=PlatformSpec(channels=args.channels),
     )
-    result = run_single_core(attack, args.mitigation, nrh=args.nrh, dram_config=dram_config)
+    result = _session().run(spec).result
     rows = [
         {
             "mitigation": args.mitigation,
@@ -235,46 +308,43 @@ def _command_attack(args: argparse.Namespace) -> str:
 
 
 def _command_sweep(args: argparse.Namespace) -> str:
-    points = SweepRunner.grid(
+    specs = expand_grid(
         workloads=args.workloads,
         mitigations=args.mitigations,
         nrhs=args.nrh,
         num_requests=args.requests,
         channels=args.channels,
     )
-    runner = SweepRunner(
-        max_workers=args.workers,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-    )
-    results = runner.run(points)
+    session = _session(args)
+    records = session.run_many(specs)
     baselines = {
-        (point.workload, point.channels): result
-        for point, result in zip(points, results)
-        if point.mitigation == "none"
+        (spec.workload.name, spec.platform.channel_count): record.result
+        for spec, record in zip(specs, records)
+        if spec.mitigation.name == "none"
     }
     rows = []
-    for point, result in zip(points, results):
-        if point.mitigation == "none":
+    for spec, record in zip(specs, records):
+        if spec.mitigation.name == "none":
             continue
-        baseline = baselines[(point.workload, point.channels)]
+        result = record.result
+        baseline = baselines[(spec.workload.name, spec.platform.channel_count)]
         rows.append(
             {
-                "workload": point.workload,
-                "mitigation": point.mitigation,
-                "nrh": point.nrh,
-                "channels": point.channels,
+                "workload": spec.workload.name,
+                "mitigation": spec.mitigation.name,
+                "nrh": spec.mitigation.nrh,
+                "channels": spec.platform.channel_count,
                 "normalized_IPC": round(result.ipc / baseline.ipc, 4) if baseline.ipc else 0.0,
                 "preventive_refreshes": result.preventive_refreshes,
                 "secure": result.security_ok,
             }
         )
     cache_note = ""
-    if runner.cache is not None:
-        cache_note = f" (cache: {runner.cache.hits} hits, {runner.cache.misses} misses)"
+    if not args.no_cache:
+        cache_note = f" (cache: {session.cache_hits} hits, {session.cache_misses} misses)"
     return format_table(
         rows,
-        title=f"sweep over {len(points)} points{cache_note}",
+        title=f"sweep over {len(specs)} points{cache_note}",
     )
 
 

@@ -30,6 +30,7 @@ from repro.core.counter_table import CounterTable
 from repro.core.rat import RecentAggressorTable
 from repro.dram.address import DRAMAddress
 from repro.mitigations.base import RowHammerMitigation
+from repro.experiment.registry import register_mitigation
 
 BankKey = Tuple[int, int, int, int]
 
@@ -52,6 +53,7 @@ class _BankTracker:
         return sum(self.miss_history)
 
 
+@register_mitigation("comet")
 class CoMeT(RowHammerMitigation):
     """Count-Min-Sketch-based row tracking to mitigate RowHammer at low cost."""
 

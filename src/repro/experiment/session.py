@@ -1,0 +1,208 @@
+"""The Session facade: execute experiment specs through the sweep machinery.
+
+A :class:`Session` turns :class:`~repro.experiment.spec.ExperimentSpec`
+objects into :class:`RunRecord` results.  One spec, a list of specs or a
+whole grid expansion all go through the same path — the
+:class:`~repro.sim.sweep.SweepRunner` — so every run is memoized on disk
+(keyed by the spec's canonical-JSON content hash) and lists fan out across
+worker processes exactly like the figure sweeps do.
+
+    from repro.experiment import ExperimentSpec, MitigationSpec, Session, WorkloadSpec
+
+    session = Session()
+    record = session.run(
+        ExperimentSpec(
+            workload=WorkloadSpec(name="429.mcf", num_requests=8000),
+            mitigation=MitigationSpec(name="comet", nrh=125),
+        )
+    )
+    print(record.result.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.experiment.codec import decode_value, encode_value
+from repro.experiment.spec import (
+    ExperimentSpec,
+    MitigationSpec,
+    PlatformSpec,
+    WorkloadSpec,
+    expand_grid,
+)
+from repro.sim.sweep import SWEEP_CACHE_VERSION, SweepRunner
+from repro.sim.system import SimulationResult
+
+#: Bump when the RunRecord schema changes incompatibly.
+RECORD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One executed experiment: the spec, its result and provenance.
+
+    Serializes to JSON (``to_json``/``from_json``) so batch runs can be
+    archived and post-processed without re-simulating.
+    """
+
+    spec: ExperimentSpec
+    result: SimulationResult
+    provenance: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "record_version": RECORD_VERSION,
+            "spec": self.spec.to_dict(),
+            "result": encode_value(self.result),
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        version = data.get("record_version", RECORD_VERSION)
+        if version > RECORD_VERSION:
+            raise ValueError(
+                f"record_version {version} is newer than this build supports "
+                f"({RECORD_VERSION}); upgrade repro"
+            )
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            result=decode_value(data["result"]),
+            provenance=dict(data.get("provenance", {})),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+
+class Session:
+    """Executes experiment specs with caching and parallel fan-out.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes for lists/grids (``0``/``1`` runs inline;
+        ``None`` uses ``os.cpu_count()``).
+    cache_dir:
+        On-disk result cache directory (``None``: ``$REPRO_SWEEP_CACHE`` or
+        ``~/.cache/repro/sweeps``); ``use_cache=False`` disables caching.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self._runner = SweepRunner(
+            max_workers=max_workers,
+            cache_dir=Path(cache_dir) if cache_dir is not None else None,
+            use_cache=use_cache,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, spec: ExperimentSpec) -> RunRecord:
+        """Execute one spec (through the cache) and return its record."""
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Sequence[ExperimentSpec]) -> List[RunRecord]:
+        """Execute a list of specs; results come back in input order.
+
+        Cache misses fan out across worker processes; each completed run is
+        written to the cache the moment it lands, so interrupting a long
+        batch keeps the finished points.
+        """
+        specs = list(specs)
+        cached_flags: Dict[int, bool] = {}
+
+        def progress(spec, result, from_cache):
+            cached_flags[id(spec)] = from_cache
+
+        results = self._runner.run(specs, progress=progress)
+        return [
+            RunRecord(
+                spec=spec,
+                result=result,
+                provenance=self._provenance(spec, cached_flags.get(id(spec), False)),
+            )
+            for spec, result in zip(specs, results)
+        ]
+
+    def run_grid(
+        self,
+        workloads: Sequence[str],
+        mitigations: Sequence[str],
+        nrhs: Sequence[int],
+        **grid_kwargs,
+    ) -> List[RunRecord]:
+        """Expand a workload x mitigation x NRH grid and execute it."""
+        return self.run_many(expand_grid(workloads, mitigations, nrhs, **grid_kwargs))
+
+    def compare(
+        self,
+        workload: Union[str, WorkloadSpec],
+        mitigations: Sequence[str],
+        nrh: int,
+        platform: Optional[PlatformSpec] = None,
+        verify_security: bool = True,
+    ) -> Dict[str, RunRecord]:
+        """Run one workload under several mitigations plus the baseline.
+
+        Returns a mapping mitigation name -> record; the unprotected
+        baseline is always included under ``"none"`` so callers can
+        normalize.
+        """
+        if isinstance(workload, str):
+            workload = WorkloadSpec(name=workload)
+        names = list(dict.fromkeys(["none", *mitigations]))
+        specs = [
+            ExperimentSpec(
+                workload=workload,
+                # The unprotected baseline is threshold-independent; pinning
+                # it at nrh=1 gives it one cache entry shared across every
+                # compared threshold (the expand_grid convention).
+                mitigation=MitigationSpec(name=name, nrh=1 if name == "none" else nrh),
+                platform=platform or PlatformSpec(),
+                verify_security=verify_security and name != "none",
+            )
+            for name in names
+        ]
+        records = self.run_many(specs)
+        return dict(zip(names, records))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_hits(self) -> int:
+        return self._runner.cache.hits if self._runner.cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self._runner.cache.misses if self._runner.cache is not None else 0
+
+    def _provenance(self, spec: ExperimentSpec, from_cache: bool) -> Dict[str, Any]:
+        from repro import __version__
+
+        return {
+            "repro_version": __version__,
+            "cache_version": SWEEP_CACHE_VERSION,
+            "spec_hash": spec.content_hash(),
+            "from_cache": from_cache,
+        }
+
+    #: Grid expansion without execution (alias of :func:`expand_grid`).
+    grid = staticmethod(expand_grid)

@@ -1,0 +1,408 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the one typed description of a simulator run
+that every entry point shares — the :class:`~repro.experiment.session.Session`
+facade, the CLI (``repro run --spec``), the sweep executor and the benchmark
+harnesses.  It composes three sub-specs:
+
+* :class:`WorkloadSpec` — *what runs*: a registered workload name (benign
+  suite entry or attack generator) plus trace length, core count, seed and
+  builder parameters; or a heterogeneous ``mix`` of sub-workloads (one per
+  core), the Figure 16 benign+attacker pattern.
+* :class:`MitigationSpec` — *what defends*: a registered mechanism name, the
+  RowHammer threshold and constructor overrides (e.g. a
+  :class:`~repro.core.config.CoMeTConfig` for the sensitivity sweeps).
+* :class:`PlatformSpec` — *what it runs on*: the scaled DRAM geometry,
+  channel count, refresh-window scale and core model.
+
+Specs are frozen, hashable and JSON-round-trippable; ``canonical_json()``
+(sorted keys, compact separators) is the content-hash material used as the
+sweep-cache key, so two specs describe the same experiment if and only if
+their hashes match.  Unknown workload/mitigation names are rejected at
+construction time with an error listing every registered name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.cpu.core import CoreConfig
+from repro.dram.config import DRAMConfig, small_test_config
+from repro.experiment.codec import decode_value, encode_value
+from repro.experiment.registry import mitigation_entry, workload_entry
+
+#: Bump when the spec schema changes incompatibly.
+SPEC_VERSION = 1
+
+_Pairs = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze(value: Any) -> Any:
+    """Convert a value into an immutable (hashable) equivalent."""
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _as_pairs(value: Union[None, Mapping[str, Any], Sequence] ) -> _Pairs:
+    """Normalize a mapping (or pair sequence) to sorted, frozen key/value pairs."""
+    if value is None:
+        return ()
+    if isinstance(value, Mapping):
+        items = value.items()
+    else:
+        items = [(k, v) for k, v in value]
+    return tuple(sorted((str(key), _freeze(val)) for key, val in items))
+
+
+def _pairs_to_dict(pairs: _Pairs) -> Dict[str, Any]:
+    return {key: value for key, value in pairs}
+
+
+# --------------------------------------------------------------------------- #
+# Mitigation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MitigationSpec:
+    """A mitigation mechanism at a RowHammer threshold, with overrides."""
+
+    name: str
+    nrh: int = 125
+    #: Constructor overrides, normalized to sorted ``(key, value)`` pairs so
+    #: the spec stays hashable; pass a plain dict, it is converted.
+    overrides: _Pairs = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "overrides", _as_pairs(self.overrides))
+        if self.nrh <= 0:
+            raise ValueError("nrh must be positive")
+        mitigation_entry(self.name)  # raises listing known names when unknown
+
+    def overrides_dict(self) -> Dict[str, Any]:
+        return _pairs_to_dict(self.overrides)
+
+    def build_instances(self, channels: int) -> List:
+        """One independently-constructed instance per memory channel.
+
+        Channel ``c > 0`` of a seedable mechanism gets ``seed=c`` so channels
+        draw independent random streams; channel 0 keeps the default seed,
+        preserving 1-channel bit-identity (same convention as the legacy
+        ``build_mitigations`` helper).
+        """
+        entry = mitigation_entry(self.name)
+        overrides = self.overrides_dict()
+        return [
+            entry.build(self.nrh, seed=channel if channel > 0 else None, **overrides)
+            for channel in range(channels)
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "nrh": self.nrh,
+            "overrides": {k: encode_value(v) for k, v in self.overrides},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MitigationSpec":
+        return cls(
+            name=data["name"],
+            nrh=data.get("nrh", 125),
+            overrides={
+                k: decode_value(v) for k, v in data.get("overrides", {}).items()
+            },
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Workload
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A reference to a registered workload (or an inline mix of them).
+
+    ``name`` resolves through the workload registry: the 61-entry benign
+    suite, the multichannel additions and the attack generators all live
+    there.  ``params`` are forwarded to the registered builder (attack knobs
+    such as ``distinct_rows`` or ``channel``).  ``num_cores > 1`` builds a
+    homogeneous multi-programmed mix (one seed-shifted copy per core, the
+    paper's 8-core pattern); ``mix`` builds a heterogeneous one (each member
+    contributes its own traces, e.g. one benign core plus one attacker core).
+    """
+
+    name: str
+    num_requests: int = 8000
+    num_cores: int = 1
+    seed: int = 0
+    params: _Pairs = ()
+    mix: Tuple["WorkloadSpec", ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _as_pairs(self.params))
+        object.__setattr__(self, "mix", tuple(self.mix))
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        if not self.mix:
+            workload_entry(self.name)  # raises listing known names when unknown
+
+    def params_dict(self) -> Dict[str, Any]:
+        return _pairs_to_dict(self.params)
+
+    def build_traces(self, dram_config: Optional[DRAMConfig] = None) -> List:
+        """Build the trace list (one per core) this spec describes."""
+        if self.mix:
+            traces: List = []
+            for member in self.mix:
+                traces.extend(member.build_traces(dram_config))
+            return traces
+        entry = workload_entry(self.name)
+        params = self.params_dict()
+        return [
+            entry.build(
+                num_requests=self.num_requests,
+                dram_config=dram_config,
+                seed=self.seed + core,
+                **params,
+            )
+            for core in range(self.num_cores)
+        ]
+
+    @property
+    def total_cores(self) -> int:
+        if self.mix:
+            return sum(member.total_cores for member in self.mix)
+        return self.num_cores
+
+    def default_run_name(self) -> str:
+        if self.mix:
+            return self.name or "+".join(m.default_run_name() for m in self.mix)
+        if self.num_cores > 1:
+            return f"{self.name}_x{self.num_cores}"
+        return self.name
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "num_requests": self.num_requests,
+            "num_cores": self.num_cores,
+            "seed": self.seed,
+            "params": {k: encode_value(v) for k, v in self.params},
+        }
+        if self.mix:
+            data["mix"] = [member.to_dict() for member in self.mix]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        return cls(
+            name=data.get("name", ""),
+            num_requests=data.get("num_requests", 8000),
+            num_cores=data.get("num_cores", 1),
+            seed=data.get("seed", 0),
+            params={k: decode_value(v) for k, v in data.get("params", {}).items()},
+            mix=tuple(cls.from_dict(member) for member in data.get("mix", ())),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Platform
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PlatformSpec:
+    """The simulated machine: scaled DRAM geometry, channels, core model.
+
+    The scalar knobs mirror the scaled experiment configuration every
+    entry point has always used (see ``default_experiment_config``); a full
+    :class:`~repro.dram.config.DRAMConfig` in ``dram`` overrides them.
+    ``channels`` defaults to *inherit* (``None``): the channel count of
+    ``dram`` when one is given, otherwise 1.  An explicit ``channels``
+    always wins — that is the grid's channel-scaling axis — re-channeling a
+    full ``dram`` override if the two disagree.
+    """
+
+    rows_per_bank: int = 4096
+    refresh_window_scale: float = 1.0 / 256.0
+    #: Memory channels; ``None`` inherits from ``dram`` (or 1 without one).
+    channels: Optional[int] = None
+    #: Full DRAM configuration override (wins over the scalar knobs).
+    dram: Optional[DRAMConfig] = None
+    #: Core model override (defaults to the paper's Table 2 core).
+    core: Optional[CoreConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.channels is not None and self.channels < 1:
+            raise ValueError("channels must be >= 1")
+
+    @property
+    def channel_count(self) -> int:
+        """The resolved memory-channel count this platform simulates."""
+        if self.channels is not None:
+            return self.channels
+        if self.dram is not None:
+            return self.dram.organization.channels
+        return 1
+
+    def dram_config(self) -> DRAMConfig:
+        channels = self.channel_count
+        if self.dram is not None:
+            if self.dram.organization.channels != channels:
+                return replace(
+                    self.dram,
+                    organization=replace(self.dram.organization, channels=channels),
+                )
+            return self.dram
+        return small_test_config(
+            rows_per_bank=self.rows_per_bank,
+            banks_per_bankgroup=2,
+            bankgroups_per_rank=2,
+            ranks_per_channel=2,
+            refresh_window_scale=self.refresh_window_scale,
+            channels=channels,
+        )
+
+    def core_config(self) -> CoreConfig:
+        return self.core if self.core is not None else CoreConfig()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rows_per_bank": self.rows_per_bank,
+            "refresh_window_scale": self.refresh_window_scale,
+            "channels": self.channels,
+            "dram": encode_value(self.dram) if self.dram is not None else None,
+            "core": encode_value(self.core) if self.core is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlatformSpec":
+        return cls(
+            rows_per_bank=data.get("rows_per_bank", 4096),
+            refresh_window_scale=data.get("refresh_window_scale", 1.0 / 256.0),
+            channels=data.get("channels"),
+            dram=decode_value(data["dram"]) if data.get("dram") is not None else None,
+            core=decode_value(data["core"]) if data.get("core") is not None else None,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The composed experiment
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully-described simulator run: workload x mitigation x platform."""
+
+    workload: WorkloadSpec
+    mitigation: MitigationSpec
+    platform: PlatformSpec = field(default_factory=PlatformSpec)
+    verify_security: bool = True
+    #: Optional display name for the run (defaults to the workload's name).
+    name: Optional[str] = None
+
+    def run_name(self) -> str:
+        return self.name or self.workload.default_run_name()
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec_version": SPEC_VERSION,
+            "name": self.name,
+            "verify_security": self.verify_security,
+            "workload": self.workload.to_dict(),
+            "mitigation": self.mitigation.to_dict(),
+            "platform": self.platform.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        version = data.get("spec_version", SPEC_VERSION)
+        if version > SPEC_VERSION:
+            raise ValueError(
+                f"spec_version {version} is newer than this build supports "
+                f"({SPEC_VERSION}); upgrade repro"
+            )
+        return cls(
+            workload=WorkloadSpec.from_dict(data["workload"]),
+            mitigation=MitigationSpec.from_dict(data["mitigation"]),
+            platform=PlatformSpec.from_dict(data.get("platform", {})),
+            verify_security=data.get("verify_security", True),
+            name=data.get("name"),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def canonical_json(self) -> str:
+        """Deterministic compact JSON: the content-hash / cache-key material."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """sha256 over the canonical JSON; equal iff the experiments match."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# Grid expansion
+# --------------------------------------------------------------------------- #
+def expand_grid(
+    workloads: Sequence[str],
+    mitigations: Sequence[str],
+    nrhs: Sequence[int],
+    num_requests: int = 8000,
+    num_cores: int = 1,
+    include_baseline: bool = True,
+    mitigation_overrides: Optional[Mapping[str, Any]] = None,
+    channels: Sequence[int] = (1,),
+    platform: Optional[PlatformSpec] = None,
+) -> List[ExperimentSpec]:
+    """The Figures 6-9 pattern: workload x mitigation x NRH (x channels).
+
+    The unprotected baseline (needed by every normalized metric) is
+    threshold-independent, so ``include_baseline`` adds a single ``"none"``
+    spec per workload per channel count, pinned at ``nrh=1`` so its cache key
+    is the same regardless of the swept threshold list.
+    """
+    base_platform = platform or PlatformSpec()
+    specs: List[ExperimentSpec] = []
+    for num_channels in channels:
+        plat = replace(base_platform, channels=num_channels)
+        for workload in workloads:
+            wspec = WorkloadSpec(
+                name=workload, num_requests=num_requests, num_cores=num_cores
+            )
+            if include_baseline:
+                specs.append(
+                    ExperimentSpec(
+                        workload=wspec,
+                        mitigation=MitigationSpec(name="none", nrh=1),
+                        platform=plat,
+                        verify_security=False,
+                    )
+                )
+            for mitigation in mitigations:
+                if mitigation == "none":
+                    continue
+                for nrh in nrhs:
+                    specs.append(
+                        ExperimentSpec(
+                            workload=wspec,
+                            mitigation=MitigationSpec(
+                                name=mitigation,
+                                nrh=nrh,
+                                overrides=mitigation_overrides or (),
+                            ),
+                            platform=plat,
+                        )
+                    )
+    return specs

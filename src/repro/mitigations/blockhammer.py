@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.dram.address import DRAMAddress
 from repro.mitigations.base import RowHammerMitigation
+from repro.experiment.registry import register_mitigation
 from repro.sketch.counting_bloom import DualCountingBloomFilter
 
 
@@ -46,6 +47,7 @@ class BlockHammerConfig:
         return max(1, int(self.nrh * self.blacklist_fraction))
 
 
+@register_mitigation("blockhammer", seedable=True)
 class BlockHammer(RowHammerMitigation):
     """Counting-Bloom-filter tracker plus activation throttling."""
 

@@ -27,6 +27,7 @@ from typing import Dict, Optional, Tuple
 from repro.dram.address import DRAMAddress
 from repro.dram.config import DRAMConfig
 from repro.mitigations.base import RowHammerMitigation
+from repro.experiment.registry import register_mitigation
 from repro.sketch.misra_gries import MisraGriesSummary, graphene_table_entries
 
 
@@ -55,6 +56,7 @@ class GrapheneConfig:
         return entries * per_entry + self.counter_width_bits
 
 
+@register_mitigation("graphene")
 class Graphene(RowHammerMitigation):
     """Per-bank Misra-Gries tracking with preventive refresh."""
 

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.dram.address import DRAMAddress
 from repro.mitigations.base import RowHammerMitigation
+from repro.experiment.registry import register_mitigation
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,7 @@ class HydraConfig:
         return max(1, self.nrh // 2)
 
 
+@register_mitigation("hydra")
 class Hydra(RowHammerMitigation):
     """Hybrid group/per-row tracking with counters stored in DRAM."""
 

@@ -8,8 +8,10 @@ and never issues preventive refreshes.
 from __future__ import annotations
 
 from repro.mitigations.base import RowHammerMitigation
+from repro.experiment.registry import register_mitigation
 
 
+@register_mitigation("none", takes_nrh=False)
 class NoMitigation(RowHammerMitigation):
     """A mitigation that does nothing (the paper's normalization baseline)."""
 

@@ -19,6 +19,7 @@ import random
 
 from repro.dram.address import DRAMAddress
 from repro.mitigations.base import RowHammerMitigation
+from repro.experiment.registry import register_mitigation
 
 
 def para_refresh_probability(nrh: int, target_failure_probability: float = 1e-15) -> float:
@@ -36,6 +37,7 @@ def para_refresh_probability(nrh: int, target_failure_probability: float = 1e-15
     return 1.0 - math.pow(target_failure_probability, 1.0 / nrh)
 
 
+@register_mitigation("para", seedable=True)
 class PARA(RowHammerMitigation):
     """Probabilistic adjacent-row refresh."""
 

@@ -30,6 +30,7 @@ from typing import Dict
 from repro.dram.address import DRAMAddress
 from repro.dram.config import DRAMConfig
 from repro.mitigations.base import RowHammerMitigation
+from repro.experiment.registry import register_mitigation
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,7 @@ class REGAConfig:
         return int(math.ceil(self.base_trc_cycles * self.inflation_factor * pressure))
 
 
+@register_mitigation("rega")
 class REGA(RowHammerMitigation):
     """In-DRAM refresh-generating activations, modelled as inflated tRC."""
 

@@ -1,57 +1,67 @@
-"""Experiment runner helpers used by the examples and benchmark harnesses.
+"""Legacy experiment-runner helpers (deprecated shims).
 
-These functions encapsulate the common experimental pattern of the paper:
-run a workload on the unprotected baseline and under one or more mitigations
-at a given RowHammer threshold, then report normalized IPC / energy.
+The declarative experiment API (:mod:`repro.experiment`) is the front door
+for assembling simulations now: build an
+:class:`~repro.experiment.spec.ExperimentSpec` and execute it through a
+:class:`~repro.experiment.session.Session`.  The helpers here predate it and
+are kept as thin shims — each one warns ``DeprecationWarning`` once per
+process and then delegates to the same execution core the spec path uses
+(:func:`repro.experiment.execute.run_system`), so their outputs remain
+bit-identical to spec-driven runs (pinned by the golden equivalence tests).
 
-Every run uses a *scaled* DRAM configuration by default
-(:func:`default_experiment_config`): the organization is shrunk and the
-refresh window shortened so several counter-reset periods elapse within a
-trace of a few tens of thousands of requests; EXPERIMENTS.md discusses the
-scaling.  Pass a full-size :class:`~repro.dram.config.DRAMConfig` to override.
+``MITIGATION_REGISTRY`` and ``MITIGATION_FACTORIES`` are live read-only
+views over the decorator-based registry of
+:mod:`repro.experiment.registry`, which replaced the hand-maintained dicts
+that used to live in this module.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Mapping
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.comet import CoMeT
 from repro.cpu.core import CoreConfig
 from repro.cpu.trace import Trace
-from repro.dram.config import DRAMConfig, small_test_config
+from repro.dram.config import DRAMConfig
+from repro.experiment.registry import mitigation_entry, mitigation_names
+from repro.experiment.spec import MitigationSpec, PlatformSpec
 from repro.mitigations.base import RowHammerMitigation
-from repro.mitigations.blockhammer import BlockHammer
-from repro.mitigations.graphene import Graphene
-from repro.mitigations.hydra import Hydra
-from repro.mitigations.none import NoMitigation
-from repro.mitigations.para import PARA
-from repro.mitigations.rega import REGA
-from repro.sim.system import SimulationResult, System, SystemConfig
-
-#: The single source of truth: mitigation name -> mechanism class.  The CLI,
-#: the sweep executor and the benchmark harnesses all resolve names here.
-MITIGATION_REGISTRY: Dict[str, type] = {
-    "none": NoMitigation,
-    "comet": CoMeT,
-    "graphene": Graphene,
-    "hydra": Hydra,
-    "rega": REGA,
-    "para": PARA,
-    "blockhammer": BlockHammer,
-}
+from repro.sim.system import SimulationResult
 
 
-def _registry_factory(cls: type) -> Callable[[int], RowHammerMitigation]:
-    if cls is NoMitigation:
-        return lambda nrh: NoMitigation()
-    return lambda nrh: cls(nrh)
+class _RegistryView(Mapping):
+    """Live, read-only mapping over the mitigation registry.
+
+    A plain dict snapshot taken at import time would miss mechanisms whose
+    modules had not been imported yet (registration happens at class
+    definition); resolving through the registry on every access keeps this
+    view — and everything built on it — always complete.
+    """
+
+    def __init__(self, value_of: Callable[[str], object]) -> None:
+        self._value_of = value_of
+
+    def __getitem__(self, name: str):
+        try:
+            return self._value_of(name)
+        except ValueError:
+            raise KeyError(name) from None
+
+    def __iter__(self):
+        return iter(mitigation_names())
+
+    def __len__(self) -> int:
+        return len(mitigation_names())
 
 
-#: Mitigation name -> factory taking the RowHammer threshold (derived from
-#: :data:`MITIGATION_REGISTRY`; kept for callers that want a callable).
-MITIGATION_FACTORIES: Dict[str, Callable[[int], RowHammerMitigation]] = {
-    name: _registry_factory(cls) for name, cls in MITIGATION_REGISTRY.items()
-}
+#: Mitigation name -> mechanism class (live view over the registry).
+MITIGATION_REGISTRY: Mapping = _RegistryView(lambda name: mitigation_entry(name).cls)
+
+#: Mitigation name -> factory taking the RowHammer threshold (live view).
+MITIGATION_FACTORIES: Mapping = _RegistryView(
+    lambda name: (lambda nrh, _entry=mitigation_entry(name): _entry.build(nrh))
+)
 
 
 def build_mitigation(name: str, nrh: int, **overrides) -> RowHammerMitigation:
@@ -61,14 +71,7 @@ def build_mitigation(name: str, nrh: int, **overrides) -> RowHammerMitigation:
     sensitivity sweeps (e.g. ``config=CoMeTConfig(...)`` for Figures 6-9).
     The unprotected baseline takes no parameters, so it ignores them.
     """
-    if name not in MITIGATION_REGISTRY:
-        raise ValueError(
-            f"unknown mitigation {name!r}; known: {sorted(MITIGATION_REGISTRY)}"
-        )
-    cls = MITIGATION_REGISTRY[name]
-    if cls is NoMitigation:
-        return NoMitigation()
-    return cls(nrh, **overrides)
+    return mitigation_entry(name).build(nrh, **overrides)
 
 
 def build_mitigations(
@@ -77,28 +80,17 @@ def build_mitigations(
     """One independently-constructed mitigation instance per channel.
 
     The channel fabric requires distinct instances: sharing one object
-    across channels would merge per-channel counter state (and, for the
-    mechanisms with periodic resets, reset every channel's tables on one
-    channel's clock).  Randomized mechanisms (PARA, BlockHammer) get a
-    per-channel ``seed`` so their channels draw independent streams rather
-    than making identical probabilistic decisions in lockstep; channel 0
-    keeps the default seed, preserving 1-channel bit-identity.
+    across channels would merge per-channel counter state.  Seedable
+    mechanisms (PARA, BlockHammer — declared by their registry entry, no
+    signature probing) get a per-channel ``seed`` so their channels draw
+    independent streams; channel 0 keeps the default seed, preserving
+    1-channel bit-identity.  Delegates to
+    :meth:`~repro.experiment.spec.MitigationSpec.build_instances`, the one
+    implementation of the per-channel construction rule.
     """
-    import inspect
-
-    cls = MITIGATION_REGISTRY.get(name)
-    seedable = (
-        cls is not None
-        and cls is not NoMitigation
-        and "seed" in inspect.signature(cls.__init__).parameters
+    return MitigationSpec(name=name, nrh=nrh, overrides=overrides).build_instances(
+        channels
     )
-    instances = []
-    for channel in range(channels):
-        kwargs = dict(overrides)
-        if channel > 0 and seedable and "seed" not in kwargs:
-            kwargs["seed"] = channel
-        instances.append(build_mitigation(name, nrh, **kwargs))
-    return instances
 
 
 def default_experiment_config(
@@ -113,17 +105,33 @@ def default_experiment_config(
     workload suite, the number of activations a hot row receives per
     counter-reset period relative to the preventive-refresh thresholds is in
     the same regime as the paper's full-length simulations (hot rows cross
-    NPR at NRH=125 but not at NRH=1K); see EXPERIMENTS.md.
+    NPR at NRH=125 but not at NRH=1K); see EXPERIMENTS.md.  This is exactly
+    what :meth:`~repro.experiment.spec.PlatformSpec.dram_config` builds.
     """
-    config = small_test_config(
+    return PlatformSpec(
         rows_per_bank=rows_per_bank,
-        banks_per_bankgroup=2,
-        bankgroups_per_rank=2,
-        ranks_per_channel=2,
         refresh_window_scale=refresh_window_scale,
         channels=channels,
+    ).dram_config()
+
+
+# --------------------------------------------------------------------------- #
+# Deprecated run helpers
+# --------------------------------------------------------------------------- #
+_DEPRECATION_WARNED: set = set()
+
+
+def _warn_deprecated(helper: str, replacement: str) -> None:
+    """Warn about a legacy helper — exactly once per process per helper."""
+    if helper in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(helper)
+    warnings.warn(
+        f"repro.sim.runner.{helper} is deprecated; build an ExperimentSpec and "
+        f"use {replacement} (see repro.experiment)",
+        DeprecationWarning,
+        stacklevel=3,
     )
-    return config
 
 
 def run_single_core(
@@ -135,26 +143,25 @@ def run_single_core(
     mitigation_overrides: Optional[dict] = None,
     verify_security: bool = True,
 ) -> SimulationResult:
-    """Run one trace on a single-core system under one mitigation.
+    """Deprecated: run one trace on a single-core system under one mitigation.
 
-    The number of memory channels comes from ``dram_config``; one mitigation
-    instance is built per channel.
+    Use an :class:`~repro.experiment.spec.ExperimentSpec` with a
+    :class:`~repro.experiment.session.Session` instead; outputs are
+    bit-identical.
     """
-    dram_config = dram_config or default_experiment_config()
-    mitigations = build_mitigations(
-        mitigation_name,
-        nrh,
-        dram_config.organization.channels,
-        **(mitigation_overrides or {}),
-    )
-    system_config = SystemConfig(
-        dram=dram_config,
-        core=core_config or CoreConfig(),
+    _warn_deprecated("run_single_core", "Session.run")
+    from repro.experiment.execute import run_system
+
+    return run_system(
+        [trace],
+        mitigation_name=mitigation_name,
+        nrh=nrh,
+        dram_config=dram_config or default_experiment_config(),
+        core_config=core_config,
+        mitigation_overrides=mitigation_overrides,
         verify_security=verify_security,
-        nrh_for_verification=nrh,
+        name=trace.name,
     )
-    system = System([trace], mitigation=mitigations, config=system_config, name=trace.name)
-    return system.run()
 
 
 def run_multi_core(
@@ -167,24 +174,24 @@ def run_multi_core(
     verify_security: bool = True,
     name: Optional[str] = None,
 ) -> SimulationResult:
-    """Run a multi-programmed mix (one trace per core) under one mitigation."""
-    dram_config = dram_config or default_experiment_config()
-    mitigations = build_mitigations(
-        mitigation_name,
-        nrh,
-        dram_config.organization.channels,
-        **(mitigation_overrides or {}),
-    )
-    system_config = SystemConfig(
-        dram=dram_config,
-        core=core_config or CoreConfig(),
+    """Deprecated: run a multi-programmed mix under one mitigation.
+
+    Use an :class:`~repro.experiment.spec.ExperimentSpec` (``num_cores`` or
+    ``mix``) with a :class:`~repro.experiment.session.Session` instead.
+    """
+    _warn_deprecated("run_multi_core", "Session.run")
+    from repro.experiment.execute import run_system
+
+    return run_system(
+        list(traces),
+        mitigation_name=mitigation_name,
+        nrh=nrh,
+        dram_config=dram_config or default_experiment_config(),
+        core_config=core_config,
+        mitigation_overrides=mitigation_overrides,
         verify_security=verify_security,
-        nrh_for_verification=nrh,
+        name=name or traces[0].name,
     )
-    system = System(
-        list(traces), mitigation=mitigations, config=system_config, name=name or traces[0].name
-    )
-    return system.run()
 
 
 def normalized_ipc(result: SimulationResult, baseline: SimulationResult) -> float:
@@ -201,20 +208,25 @@ def compare_single_core(
     dram_config: Optional[DRAMConfig] = None,
     verify_security: bool = True,
 ) -> Dict[str, SimulationResult]:
-    """Run one trace under several mitigations plus the unprotected baseline.
+    """Deprecated: run one trace under several mitigations plus the baseline.
 
-    Returns a mapping mitigation name -> result; the baseline is always
-    included under the key ``"none"`` so callers can normalize.
+    Use :meth:`~repro.experiment.session.Session.compare` instead.  Returns
+    a mapping mitigation name -> result; the baseline is always included
+    under the key ``"none"`` so callers can normalize.
     """
+    _warn_deprecated("compare_single_core", "Session.compare")
+    from repro.experiment.execute import run_system
+
     dram_config = dram_config or default_experiment_config()
     names = list(dict.fromkeys(["none", *mitigation_names]))
     results: Dict[str, SimulationResult] = {}
     for name in names:
-        results[name] = run_single_core(
-            trace,
-            name,
-            nrh,
+        results[name] = run_system(
+            [trace],
+            mitigation_name=name,
+            nrh=nrh,
             dram_config=dram_config,
             verify_security=verify_security and name != "none",
+            name=trace.name,
         )
     return results

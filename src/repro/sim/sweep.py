@@ -32,18 +32,17 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cpu.core import CoreConfig
 from repro.dram.config import DRAMConfig
-from repro.sim.runner import (
-    default_experiment_config,
-    run_multi_core,
-    run_single_core,
-)
+from repro.experiment.spec import ExperimentSpec, WorkloadSpec
+from repro.sim.runner import default_experiment_config
 from repro.sim.system import SimulationResult
-from repro.workloads.suite import build_multicore_traces, build_trace
 
 #: Bump when simulation semantics change in a way that invalidates cached
 #: results (scheduler behaviour, trace generation, statistics definitions).
 #: v2: channel-partitioned fabric (SweepPoint grew a ``channels`` axis).
-SWEEP_CACHE_VERSION = 2
+#: v3: the declarative experiment API — :class:`SweepRunner` also executes
+#: :class:`~repro.experiment.spec.ExperimentSpec` items, keyed by the
+#: sha256 of their canonical spec JSON.
+SWEEP_CACHE_VERSION = 3
 
 _CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 
@@ -76,43 +75,6 @@ class SweepPoint:
         return f"{self.workload}/{self.mitigation}@{self.nrh}"
 
 
-#: Per-process memo of built traces: rebuilding the same multi-thousand-entry
-#: synthetic trace for every mitigation x NRH cell of a sweep is pure wasted
-#: RNG/address-mapping work (traces are read-only during simulation).
-_TRACE_CACHE: Dict[Tuple, Any] = {}
-_TRACE_CACHE_MAX = 64
-
-
-def _cached_traces(point: SweepPoint, dram_config: DRAMConfig):
-    key = (
-        point.workload,
-        point.num_requests,
-        point.num_cores,
-        point.seed,
-        repr(dram_config),
-    )
-    if key not in _TRACE_CACHE:
-        if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
-            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
-        if point.num_cores > 1:
-            built = build_multicore_traces(
-                point.workload,
-                num_cores=point.num_cores,
-                num_requests=point.num_requests,
-                dram_config=dram_config,
-                seed=point.seed,
-            )
-        else:
-            built = build_trace(
-                point.workload,
-                num_requests=point.num_requests,
-                dram_config=dram_config,
-                seed=point.seed,
-            )
-        _TRACE_CACHE[key] = built
-    return _TRACE_CACHE[key]
-
-
 def _rechanneled(dram_config: DRAMConfig, channels: int) -> DRAMConfig:
     """Copy ``dram_config`` with a different channel count (no-op when equal)."""
     if dram_config.organization.channels == channels:
@@ -129,29 +91,34 @@ def execute_point(
     core_config: Optional[CoreConfig] = None,
 ) -> SimulationResult:
     """Run one sweep point to completion on the event-driven engine."""
+    # Imported here: repro.sim's package init imports this module, and
+    # repro.experiment.execute imports repro.sim.system right back.
+    from repro.experiment.execute import build_workload_traces, run_system
+
     dram_config = dram_config or default_experiment_config()
     dram_config = _rechanneled(dram_config, point.channels)
+    traces = build_workload_traces(
+        WorkloadSpec(
+            name=point.workload,
+            num_requests=point.num_requests,
+            num_cores=point.num_cores,
+            seed=point.seed,
+        ),
+        dram_config,
+    )
     if point.num_cores > 1:
-        traces = _cached_traces(point, dram_config)
-        return run_multi_core(
-            traces,
-            point.mitigation,
-            nrh=point.nrh,
-            dram_config=dram_config,
-            core_config=core_config,
-            mitigation_overrides=point.mitigation_overrides,
-            verify_security=point.verify_security,
-            name=f"{point.workload}_x{point.num_cores}",
-        )
-    trace = _cached_traces(point, dram_config)
-    return run_single_core(
-        trace,
-        point.mitigation,
+        name = f"{point.workload}_x{point.num_cores}"
+    else:
+        name = traces[0].name
+    return run_system(
+        traces,
+        mitigation_name=point.mitigation,
         nrh=point.nrh,
         dram_config=dram_config,
         core_config=core_config,
         mitigation_overrides=point.mitigation_overrides,
         verify_security=point.verify_security,
+        name=name,
     )
 
 
@@ -174,6 +141,17 @@ def point_cache_key(
             repr(core_config),
         )
     )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def spec_cache_key(spec: ExperimentSpec) -> str:
+    """Content hash identifying one :class:`ExperimentSpec`.
+
+    The canonical spec JSON covers the workload, mitigation, platform and
+    verification settings, so — unlike :func:`point_cache_key` — the key is
+    independent of any runner-level shared configuration.
+    """
+    material = f"v{SWEEP_CACHE_VERSION}|spec|{spec.canonical_json()}"
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
@@ -224,14 +202,34 @@ def default_cache_dir() -> Path:
 
 
 def _worker_run(
-    args: Tuple[SweepPoint, Optional[DRAMConfig], Optional[CoreConfig]]
+    args: Tuple[object, Optional[DRAMConfig], Optional[CoreConfig]]
 ) -> SimulationResult:
-    point, dram_config, core_config = args
-    return execute_point(point, dram_config=dram_config, core_config=core_config)
+    item, dram_config, core_config = args
+    return _execute_item(item, dram_config, core_config)
+
+
+def _execute_item(
+    item: object,
+    dram_config: Optional[DRAMConfig],
+    core_config: Optional[CoreConfig],
+) -> SimulationResult:
+    """Run one work item: a legacy :class:`SweepPoint` or an ExperimentSpec."""
+    if isinstance(item, ExperimentSpec):
+        from repro.experiment.execute import execute_spec
+
+        return execute_spec(item)
+    return execute_point(item, dram_config=dram_config, core_config=core_config)
 
 
 class SweepRunner:
     """Execute a list of sweep points, in parallel, through the result cache.
+
+    Work items are legacy :class:`SweepPoint` objects or declarative
+    :class:`~repro.experiment.spec.ExperimentSpec` objects (the
+    :class:`~repro.experiment.session.Session` facade submits the latter);
+    the two kinds can be mixed in one batch.  Spec items carry their own
+    platform, so the runner's shared ``dram_config``/``core_config`` apply
+    only to points.
 
     Parameters
     ----------
@@ -267,10 +265,10 @@ class SweepRunner:
     # ------------------------------------------------------------------ #
     def run(
         self,
-        points: Sequence[SweepPoint],
-        progress: Optional[Callable[[SweepPoint, SimulationResult, bool], None]] = None,
+        points: Sequence,
+        progress: Optional[Callable[[object, SimulationResult, bool], None]] = None,
     ) -> List[SimulationResult]:
-        """Run every point; results come back in input order.
+        """Run every item (point or spec); results come back in input order.
 
         ``progress`` (if given) is called as ``progress(point, result,
         from_cache)`` as each result lands (completion order for computed
@@ -298,11 +296,7 @@ class SweepRunner:
             for index in pending:
                 finish(
                     index,
-                    execute_point(
-                        points[index],
-                        dram_config=self.dram_config,
-                        core_config=self.core_config,
-                    ),
+                    _execute_item(points[index], self.dram_config, self.core_config),
                 )
         elif pending:
             workers = min(self.max_workers, len(pending))
@@ -321,7 +315,9 @@ class SweepRunner:
     # ------------------------------------------------------------------ #
     # Cache plumbing
     # ------------------------------------------------------------------ #
-    def _key(self, point: SweepPoint) -> str:
+    def _key(self, point) -> str:
+        if isinstance(point, ExperimentSpec):
+            return spec_cache_key(point)
         return point_cache_key(point, self.dram_config, self.core_config)
 
     def _cache_get(self, point: SweepPoint) -> Optional[SimulationResult]:

@@ -28,6 +28,7 @@ from typing import List, Optional
 from repro.cpu.trace import Trace, TraceEntry
 from repro.dram.address import AddressMapper
 from repro.dram.config import DRAMConfig
+from repro.experiment.registry import register_workload
 
 
 def _mapper(dram_config: Optional[DRAMConfig]) -> AddressMapper:
@@ -198,3 +199,44 @@ def hydra_targeted_attack(
                 break
         group = (group + 1) % max(1, groups_touched)
     return Trace(entries, name="attack_hydra_targeted")
+
+
+# --------------------------------------------------------------------------- #
+# Experiment-registry entries
+# --------------------------------------------------------------------------- #
+# The attack generators register under ``attack_*`` names so an
+# :class:`~repro.experiment.spec.ExperimentSpec` can name them like any suite
+# workload (generator knobs travel in the spec's ``params``).  Wrappers adapt
+# the builder protocol — ``fn(num_requests=, dram_config=, seed=, **params)``
+# — to generators whose signatures predate it.
+
+
+@register_workload("attack_traditional", category="attack")
+def _build_traditional_attack(num_requests, dram_config=None, seed=0, **params):
+    return traditional_rowhammer_attack(
+        num_requests=num_requests, dram_config=dram_config, seed=seed, **params
+    )
+
+
+@register_workload("attack_comet_targeted", category="attack")
+def _build_comet_targeted_attack(num_requests, dram_config=None, seed=0, **params):
+    # The RAT-thrashing sweep is deterministic: there is no RNG to seed.
+    return comet_targeted_attack(
+        num_requests=num_requests, dram_config=dram_config, **params
+    )
+
+
+@register_workload("attack_hydra_targeted", category="attack")
+def _build_hydra_targeted_attack(num_requests, dram_config=None, seed=0, **params):
+    return hydra_targeted_attack(
+        num_requests=num_requests, dram_config=dram_config, seed=seed, **params
+    )
+
+
+@register_workload("attack_single_row", category="attack")
+def _build_single_row_hammer(num_requests, dram_config=None, seed=0, **params):
+    # Two accesses (target + decoy) per activation; there is no RNG to seed.
+    params.setdefault("target_row", 64)
+    return single_row_hammer(
+        activations=max(1, num_requests // 2), dram_config=dram_config, **params
+    )

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 from repro.cpu.trace import Trace
 from repro.dram.config import DRAMConfig
+from repro.experiment.registry import register_suite_workload
 from repro.workloads.synthetic import SyntheticWorkloadGenerator, WorkloadSpec
 
 
@@ -148,6 +149,14 @@ MULTICHANNEL_SUITE: Dict[str, WorkloadSpec] = {
         channel_fraction=0.5,
     ),
 }
+
+
+# Every suite entry is resolvable through the experiment registry, so an
+# :class:`~repro.experiment.spec.ExperimentSpec` can name any of them (the
+# attack generators register alongside in :mod:`repro.workloads.attacks`).
+for _suite_spec in (*WORKLOAD_SUITE.values(), *MULTICHANNEL_SUITE.values()):
+    register_suite_workload(_suite_spec)
+del _suite_spec
 
 
 def workload_names(category: Optional[str] = None) -> List[str]:

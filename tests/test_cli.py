@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -49,6 +51,47 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "max_disturbance" in output
         assert "yes" in output  # secure
+
+    def test_run_from_spec_file(self, capsys, tmp_path):
+        from repro.experiment.session import RunRecord
+        from repro.experiment.spec import ExperimentSpec, MitigationSpec, WorkloadSpec
+
+        spec = ExperimentSpec(
+            workload=WorkloadSpec(name="502.gcc", num_requests=300),
+            mitigation=MitigationSpec(name="comet", nrh=500),
+        )
+        spec_path = tmp_path / "experiment.json"
+        spec_path.write_text(spec.to_json())
+        out_path = tmp_path / "record.json"
+
+        exit_code = main(["run", "--spec", str(spec_path), "--out", str(out_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "spec run" in output
+        assert spec.content_hash()[:12] in output
+
+        record = RunRecord.from_json(out_path.read_text())
+        assert record.spec == spec
+        assert record.result.per_core_ipc
+
+    def test_run_rejects_bad_spec_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"workload": {"name": "502.gcc"}}))
+        with pytest.raises(SystemExit, match="invalid experiment spec"):
+            main(["run", "--spec", str(bad)])
+        # Wrong-typed fields must produce the same clean error, not a traceback.
+        bad.write_text(
+            json.dumps(
+                {
+                    "workload": {"name": "502.gcc"},
+                    "mitigation": {"name": "comet", "nrh": "500"},
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match="invalid experiment spec"):
+            main(["run", "--spec", str(bad)])
+        with pytest.raises(SystemExit, match="spec file not found"):
+            main(["run", "--spec", str(tmp_path / "missing.json")])
 
     def test_compare_lists_all_mitigations(self, capsys):
         exit_code = main(
