@@ -21,6 +21,9 @@ evaluation stack the paper builds it on:
 * :mod:`repro.experiment` — the declarative experiment API: typed,
   JSON-round-trippable specs, component registries and the Session facade
   every entry point (CLI, examples, benchmarks, sweeps) shares.
+* :mod:`repro.security` — adversarial attack synthesis (fuzzed, sketch-aware,
+  refresh-straddling and multi-channel patterns) and spec-driven security
+  audit campaigns reducing to :class:`~repro.security.audit.SecurityReport`.
 
 Quickstart::
 
@@ -64,6 +67,7 @@ from repro.experiment import (
     expand_grid,
 )
 from repro.experiment.spec import WorkloadSpec as ExperimentWorkloadSpec
+from repro.security import SecurityReport, run_audit
 from repro.workloads import (
     WORKLOAD_SUITE,
     build_trace,
@@ -102,6 +106,8 @@ __all__ = [
     "Session",
     "RunRecord",
     "expand_grid",
+    "SecurityReport",
+    "run_audit",
     "WORKLOAD_SUITE",
     "build_trace",
     "build_multicore_traces",

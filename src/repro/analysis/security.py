@@ -15,16 +15,27 @@ The verifier observes three event streams from the DRAM model:
 * every preventive/in-DRAM row refresh clears the refreshed row's
   disturbance;
 * every periodic REF clears the disturbance of the rows it covers in every
-  bank of the rank.
+  bank of the refreshed rank — scoped to that rank's channel.  On the
+  channel-partitioned fabric each channel runs its own verifier over its own
+  channel-scoped :class:`~repro.dram.dram_system.DRAMSystem`, and REF events
+  carry their ``(channel, rank)`` key, so a refresh on one channel never
+  clears another channel's disturbance (pinned by the two-channel tests in
+  ``tests/test_security_verifier.py``).
 
 Violations are recorded (not raised) so tests can assert on them and the
-benchmark harness can report "secure / not secure" per mechanism.
+benchmark harness can report "secure / not secure" per mechanism.  Audits
+that only need the verdict and the worst-case margin run the verifier with
+``record_violations=False``: the streaming mode keeps the violation *count*,
+the first-violation cycle and the running disturbance maximum, but skips
+materializing a :class:`SecurityViolation` object per offending ACT (an
+unprotected baseline under a hammering attack yields one per ACT beyond the
+threshold, which is pure overhead when nobody reads the list).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dram.address import DRAMAddress
 from repro.dram.dram_system import DRAMSystem
@@ -58,14 +69,21 @@ class SecurityVerifier:
         dram: DRAMSystem,
         nrh: int,
         blast_radius: int = 1,
+        record_violations: bool = True,
     ) -> None:
         if nrh <= 0:
             raise ValueError("nrh must be positive")
         self.dram = dram
         self.nrh = nrh
         self.blast_radius = blast_radius
+        #: ``False`` enables the streaming max-margin mode: only the count,
+        #: the first-violation cycle and ``max_disturbance`` are maintained
+        #: and ``violations`` stays empty.
+        self.record_violations = record_violations
         self._disturbance: Dict[RowKey, int] = {}
         self.violations: List[SecurityViolation] = []
+        self.violation_count = 0
+        self.first_violation_cycle: Optional[int] = None
         self.max_disturbance = 0
         self.rows_per_bank = dram.config.organization.rows_per_bank
         dram.add_activation_observer(self._on_activation)
@@ -88,11 +106,15 @@ class SecurityVerifier:
                 if value > self.max_disturbance:
                     self.max_disturbance = value
                 if value >= self.nrh:
-                    self.violations.append(
-                        SecurityViolation(
-                            cycle=cycle, victim=key, disturbance=value, nrh=self.nrh
+                    self.violation_count += 1
+                    if self.first_violation_cycle is None:
+                        self.first_violation_cycle = cycle
+                    if self.record_violations:
+                        self.violations.append(
+                            SecurityViolation(
+                                cycle=cycle, victim=key, disturbance=value, nrh=self.nrh
+                            )
                         )
-                    )
 
     def _on_row_refresh(self, cycle: int, address: DRAMAddress) -> None:
         key = (address.channel, address.rank, address.bankgroup, address.bank, address.row)
@@ -117,7 +139,12 @@ class SecurityVerifier:
     # ------------------------------------------------------------------ #
     @property
     def is_secure(self) -> bool:
-        return not self.violations
+        return self.violation_count == 0
+
+    @property
+    def margin(self) -> float:
+        """Worst observed disturbance as a fraction of NRH (1.0 = violated)."""
+        return self.max_disturbance / self.nrh
 
     def disturbance_of(self, address: DRAMAddress) -> int:
         key = (address.channel, address.rank, address.bankgroup, address.bank, address.row)
@@ -132,7 +159,9 @@ class SecurityVerifier:
         return {
             "nrh": self.nrh,
             "is_secure": self.is_secure,
-            "violations": len(self.violations),
+            "violations": self.violation_count,
             "max_disturbance": self.max_disturbance,
+            "margin": self.margin,
+            "first_violation_cycle": self.first_violation_cycle,
             "tracked_victims": len(self._disturbance),
         }

@@ -28,6 +28,12 @@ through a :class:`~repro.experiment.session.Session`.
     Fan a mitigation x threshold grid across worker processes through the
     on-disk result cache and print every point (Figures 6-9 pattern).
 
+``python -m repro.cli audit --mitigations all --patterns all --nrh 125``
+    Run a security-audit campaign: every protective mechanism against every
+    synthesized/hand-written adversarial pattern, reduced to per-mechanism
+    verdicts and disturbance margins (``--out`` archives the SecurityReport
+    JSON).
+
 ``python -m repro.cli area --nrh 125``
     Print the storage/area comparison (Table 4 row) for a threshold.
 """
@@ -160,6 +166,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, help="result cache directory (see EXPERIMENTS.md)"
     )
     sweep_parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the on-disk result cache"
+    )
+
+    audit_parser = subparsers.add_parser(
+        "audit",
+        help="run a mitigation x adversarial-pattern security-audit campaign",
+    )
+    audit_parser.add_argument(
+        "--mitigations", nargs="+", default=["all"],
+        help="mechanisms to audit ('all' = every protective mechanism)",
+    )
+    audit_parser.add_argument(
+        "--patterns", nargs="+", default=["all"],
+        help="adversarial patterns ('all' = every synth_* and attack_* workload)",
+    )
+    audit_parser.add_argument(
+        "--nrh", type=int, nargs="+", default=None,
+        help="RowHammer thresholds (default: each mechanism's design threshold)",
+    )
+    audit_parser.add_argument(
+        "--requests", type=int, default=6000, help="trace length per pattern"
+    )
+    audit_parser.add_argument(
+        "--channels", type=_channel_count, default=1,
+        help="memory channels (fabric width)",
+    )
+    audit_parser.add_argument(
+        "--seed", type=int, default=0, help="pattern-synthesis seed (reproducible)"
+    )
+    audit_parser.add_argument(
+        "--include-baseline", action="store_true",
+        help="also audit the unprotected baseline (expected insecure)",
+    )
+    audit_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the full SecurityReport JSON here",
+    )
+    audit_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU; 0 runs inline)",
+    )
+    audit_parser.add_argument(
+        "--cache-dir", default=None, help="result cache directory (see EXPERIMENTS.md)"
+    )
+    audit_parser.add_argument(
         "--no-cache", action="store_true", help="bypass the on-disk result cache"
     )
 
@@ -348,6 +399,35 @@ def _command_sweep(args: argparse.Namespace) -> str:
     )
 
 
+def _command_audit(args: argparse.Namespace) -> str:
+    from repro.security.audit import run_audit
+
+    # "all" anywhere in the list expands to the full set (it is a superset
+    # of any explicit names given alongside it).
+    mitigations = None if "all" in args.mitigations else args.mitigations
+    patterns = None if "all" in args.patterns else args.patterns
+    session = _session(args)
+    report = run_audit(
+        mitigations=mitigations,
+        patterns=patterns,
+        nrhs=args.nrh,
+        num_requests=args.requests,
+        channels=args.channels,
+        seed=args.seed,
+        include_baseline=args.include_baseline,
+        session=session,
+    )
+    if args.out is not None:
+        Path(args.out).write_text(report.to_json() + "\n", encoding="utf-8")
+    lines = [report.render()]
+    if not args.no_cache:
+        lines.append(
+            f"(cache: {session.cache_hits} hits, {session.cache_misses} misses)"
+        )
+    lines.append("overall: " + ("secure" if report.is_secure else "INSECURE"))
+    return "\n".join(lines)
+
+
 def _command_area(args: argparse.Namespace) -> str:
     rows = [
         comet_area_report(args.nrh).as_row(),
@@ -363,6 +443,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "attack": _command_attack,
     "sweep": _command_sweep,
+    "audit": _command_audit,
     "area": _command_area,
 }
 

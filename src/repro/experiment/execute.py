@@ -29,6 +29,7 @@ def run_system(
     mitigation_overrides: Optional[dict] = None,
     verify_security: bool = True,
     name: Optional[str] = None,
+    record_violations: bool = True,
 ) -> SimulationResult:
     """Assemble and run one system: the common tail of every entry point."""
     mitigations = MitigationSpec(
@@ -39,6 +40,7 @@ def run_system(
         core=core_config or CoreConfig(),
         verify_security=verify_security,
         nrh_for_verification=nrh,
+        record_violations=record_violations,
     )
     system = System(
         list(traces),
@@ -85,6 +87,9 @@ def execute_spec(spec: ExperimentSpec) -> SimulationResult:
         name: Optional[str] = traces[0].name
     else:
         name = spec.run_name()
+    # "streaming" verifies with the cheap max-margin verifier (no violation
+    # objects) — the audit campaigns' mode.
+    verify = spec.verify_security
     return run_system(
         traces,
         mitigation_name=spec.mitigation.name,
@@ -92,8 +97,9 @@ def execute_spec(spec: ExperimentSpec) -> SimulationResult:
         dram_config=dram_config,
         core_config=spec.platform.core,
         mitigation_overrides=spec.mitigation.overrides_dict(),
-        verify_security=spec.verify_security,
+        verify_security=bool(verify),
         name=name,
+        record_violations=verify != "streaming",
     )
 
 

@@ -52,6 +52,7 @@ def _ensure_builtin() -> None:
     import repro.mitigations.none  # noqa: F401
     import repro.mitigations.para  # noqa: F401
     import repro.mitigations.rega  # noqa: F401
+    import repro.security.synth  # noqa: F401
     import repro.workloads.attacks  # noqa: F401
     import repro.workloads.suite  # noqa: F401
 

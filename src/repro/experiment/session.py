@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING, Union
 
 from repro.experiment.codec import decode_value, encode_value
 from repro.experiment.spec import (
@@ -35,6 +35,9 @@ from repro.experiment.spec import (
 )
 from repro.sim.sweep import SWEEP_CACHE_VERSION, SweepRunner
 from repro.sim.system import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (audit imports spec)
+    from repro.security.audit import SecurityReport
 
 #: Bump when the RunRecord schema changes incompatibly.
 RECORD_VERSION = 1
@@ -182,6 +185,19 @@ class Session:
         ]
         records = self.run_many(specs)
         return dict(zip(names, records))
+
+    def audit(self, **kwargs) -> "SecurityReport":
+        """Run a security-audit campaign through this session.
+
+        Keyword arguments mirror :func:`repro.security.audit.run_audit`
+        (``mitigations``, ``patterns``, ``nrhs``, ``num_requests``,
+        ``channels``, ``seed``, ``platform``, ``include_baseline``); the
+        campaign executes through this session's cache and worker pool and
+        reduces to a :class:`~repro.security.audit.SecurityReport`.
+        """
+        from repro.security.audit import run_audit
+
+        return run_audit(session=self, **kwargs)
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -295,14 +295,27 @@ class PlatformSpec:
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One fully-described simulator run: workload x mitigation x platform."""
+    """One fully-described simulator run: workload x mitigation x platform.
+
+    ``verify_security`` is ``True``/``False`` or the string ``"streaming"``:
+    streaming attaches the verifier in its cheap max-margin mode (verdict,
+    violation count, first-violation cycle and max disturbance, but no
+    per-violation objects) — the mode security-audit campaigns run in.
+    """
 
     workload: WorkloadSpec
     mitigation: MitigationSpec
     platform: PlatformSpec = field(default_factory=PlatformSpec)
-    verify_security: bool = True
+    verify_security: Union[bool, str] = True
     #: Optional display name for the run (defaults to the workload's name).
     name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.verify_security, bool) and self.verify_security != "streaming":
+            raise ValueError(
+                "verify_security must be True, False or 'streaming', "
+                f"got {self.verify_security!r}"
+            )
 
     def run_name(self) -> str:
         return self.name or self.workload.default_run_name()

@@ -1,0 +1,528 @@
+"""Adversarial attack-pattern synthesis.
+
+Each generator here programmatically builds a parameterized adversarial
+access pattern as an ordinary :class:`~repro.cpu.trace.Trace`, seeded and
+bit-reproducible (the golden files under ``tests/golden/synth/`` pin the
+exact bytes).  They are registered as workloads (``synth_*``, category
+``"synth"``), so a pattern can be named by a
+:class:`~repro.experiment.spec.WorkloadSpec`, swept by ``expand_grid`` and
+audited by :mod:`repro.security.audit` like any suite entry.
+
+The patterns, and the part of the threat model each one stresses:
+
+* :func:`synth_uniform` — uniform-random row hammering across every bank:
+  the weakest adversary and the audit's reference point.  Spreading
+  activations over thousands of rows keeps every per-victim count low, so
+  any focused pattern should beat its disturbance margin.
+* :func:`synth_blacksmith` — Blacksmith-style fuzzed n-sided patterns: a
+  seeded RNG draws per-aggressor-pair frequency, phase and amplitude, and
+  the pattern repeats the resulting non-uniform schedule.  Fuzzing explores
+  orderings hand-written attacks miss.
+* :func:`synth_sketch_aliasing` — a whitebox, sketch-aware attack on CoMeT:
+  decoy rows are chosen (via the same hash family CoMeT builds per bank) to
+  deliberately collide with each other in the Counter Table while staying
+  disjoint from the double-sided aggressor pair's counter groups.  The decoy
+  flood thrashes shared counters and draws spurious preventive refreshes,
+  while the aggressors' estimates stay exact — so they ride as close to the
+  preventive-refresh threshold as the sketch allows.
+* :func:`synth_rowpress` — RowPress-style long-open-row sequences: each
+  aggressor activation is followed by a long run of same-row column reads,
+  keeping the row open (one ACT, maximum open time) before toggling to the
+  sibling aggressor.
+* :func:`synth_refresh_wave` — refresh-window-straddling waves: short
+  double-sided bursts separated by idle gaps sized from the DRAM
+  configuration's counter-reset period (``tREFW / k``), so each burst lands
+  in a fresh reset epoch and the victim's disturbance accumulates across
+  epochs between its periodic refreshes.
+* :func:`synth_multichannel` — coordinated multi-channel variant: one
+  double-sided pair per channel, interleaved round-robin, so every channel's
+  mitigation instance is pressured simultaneously.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cpu.core import CoreConfig
+from repro.cpu.trace import Trace, TraceEntry
+from repro.dram.address import AddressMapper
+from repro.dram.config import DRAMConfig
+from repro.experiment.registry import register_workload, registered_workload_names
+from repro.sketch.hashes import ShiftMaskHashFamily
+
+#: Registry category every synthesized pattern registers under.
+SYNTH_CATEGORY = "synth"
+
+
+def synth_pattern_names() -> List[str]:
+    """Names of every registered synthesized adversarial pattern."""
+    return registered_workload_names(SYNTH_CATEGORY)
+
+
+def _mapper(dram_config: Optional[DRAMConfig]) -> AddressMapper:
+    return AddressMapper(dram_config or DRAMConfig())
+
+
+def _bank_key_for_index(
+    mapper: AddressMapper, bank_index: int, channel: int
+) -> Tuple[int, int, int, int]:
+    """The (channel, rank, bankgroup, bank) key behind a flat bank index.
+
+    Mirrors :meth:`~repro.dram.address.AddressMapper.address_for_row`'s
+    rank-major decomposition, so the key names the same bank the generators
+    aim their addresses at.
+    """
+    org = mapper.config.organization
+    rank, remainder = divmod(bank_index, org.banks_per_rank)
+    bankgroup, bank = divmod(remainder, org.banks_per_bankgroup)
+    return (channel % org.channels, rank % org.ranks_per_channel, bankgroup, bank)
+
+
+# --------------------------------------------------------------------------- #
+# Whitebox view of CoMeT's Counter Table hashing
+# --------------------------------------------------------------------------- #
+def _comet_hash_family(
+    bank_key: Tuple[int, int, int, int],
+    hash_seed: int,
+    num_hashes: int,
+    counters_per_hash: int,
+) -> ShiftMaskHashFamily:
+    """The exact per-bank hash family a default-configured CoMeT builds.
+
+    The bank seed is ``hash_seed + hash(bank_key) % 997``
+    (``CoMeT.bank_tracker``) and the
+    :class:`~repro.core.counter_table.CounterTable` seeds its
+    :class:`~repro.sketch.hashes.ShiftMaskHashFamily` with
+    ``hash_seed + bank_seed``.  ``hash()`` over an int tuple is
+    process-stable, so the reconstruction is deterministic.
+    """
+    bank_seed = hash_seed + (hash(bank_key) % 997)
+    return ShiftMaskHashFamily(num_hashes, counters_per_hash, seed=hash_seed + bank_seed)
+
+
+def comet_counter_groups(
+    rows: Sequence[int],
+    bank_key: Tuple[int, int, int, int],
+    hash_seed: int = 0,
+    num_hashes: int = 4,
+    counters_per_hash: int = 512,
+) -> List[Tuple[Tuple[int, int], ...]]:
+    """Counter groups CoMeT's per-bank Counter Table assigns to ``rows``.
+
+    Whitebox reconstruction through :func:`_comet_hash_family`; each group
+    is a tuple of ``(hash_row, column)`` counter coordinates.
+    """
+    family = _comet_hash_family(bank_key, hash_seed, num_hashes, counters_per_hash)
+    return [
+        tuple((hash_row, column) for hash_row, column in enumerate(family.hash_all(row)))
+        for row in rows
+    ]
+
+
+def find_aliasing_decoys(
+    aggressor_rows: Sequence[int],
+    rows_per_bank: int,
+    bank_key: Tuple[int, int, int, int],
+    count: int,
+    hash_seed: int = 0,
+    num_hashes: int = 4,
+    counters_per_hash: int = 512,
+    exclusion_radius: int = 2,
+) -> List[int]:
+    """Decoy rows that alias with each other but not with the aggressors.
+
+    Scans the bank's rows for a pivot whose counter group is disjoint from
+    every aggressor's, then collects rows that share at least one Counter
+    Table counter with the pivot (a deliberate count-min collision) while
+    sharing none with any aggressor.  The decoy flood therefore inflates its
+    own shared counters — drawing CoMeT's preventive refreshes onto decoy
+    victims — without ever raising an aggressor's estimate above its true
+    count.  Falls back to plain disjoint rows if the bank is too small to
+    supply ``count`` colliding ones.
+    """
+    aggressor_counters = {
+        counter
+        for group in comet_counter_groups(
+            aggressor_rows, bank_key, hash_seed, num_hashes, counters_per_hash
+        )
+        for counter in group
+    }
+    family = _comet_hash_family(bank_key, hash_seed, num_hashes, counters_per_hash)
+    # Scan rows lazily and stop as soon as ``count`` decoys are collected —
+    # hashing the full bank up front is pure waste on large geometries (the
+    # decoys cluster near the front of the row range).
+    candidates: List[int] = []
+    pivot_group: Optional[set] = None
+    decoys: List[int] = []
+    spares: List[int] = []
+    for row in range(rows_per_bank):
+        if any(abs(row - agg) <= exclusion_radius for agg in aggressor_rows):
+            continue
+        candidates.append(row)
+        group = set(enumerate(family.hash_all(row)))
+        if group & aggressor_counters:
+            continue
+        if pivot_group is None:
+            pivot_group = group
+            decoys.append(row)
+        elif group & pivot_group:
+            decoys.append(row)
+        else:
+            spares.append(row)
+        if len(decoys) >= count:
+            return decoys
+    if pivot_group is None:
+        return candidates[:count]
+    for row in spares:
+        if len(decoys) >= count:
+            break
+        decoys.append(row)
+    return decoys
+
+
+# --------------------------------------------------------------------------- #
+# Pattern generators
+# --------------------------------------------------------------------------- #
+@register_workload("synth_uniform", category=SYNTH_CATEGORY)
+def synth_uniform(
+    num_requests: int = 8000,
+    dram_config: Optional[DRAMConfig] = None,
+    seed: int = 0,
+    bubble: int = 0,
+    channel: int = 0,
+) -> Trace:
+    """Uniform-random row hammering: the audit's reference adversary.
+
+    Every access targets a uniformly random (bank, row, column), so
+    activations spread across the whole channel and no victim accumulates a
+    meaningful disturbance count.  Focused synthesized patterns are measured
+    by how far above this baseline they push a mechanism's margin.
+    """
+    mapper = _mapper(dram_config)
+    org = mapper.config.organization
+    banks = mapper.all_bank_indices()
+    rng = random.Random(seed)
+    entries: List[TraceEntry] = []
+    for _ in range(num_requests):
+        address = mapper.address_for_row(
+            rng.randrange(org.rows_per_bank),
+            bank_index=rng.choice(banks),
+            column=rng.randrange(0, org.columns_per_row, 8),
+            channel=channel,
+        )
+        entries.append(TraceEntry(bubble, address, False))
+    return Trace(entries, name="synth_uniform")
+
+
+@register_workload("synth_blacksmith", category=SYNTH_CATEGORY)
+def synth_blacksmith(
+    num_requests: int = 8000,
+    dram_config: Optional[DRAMConfig] = None,
+    seed: int = 0,
+    num_pairs: int = 4,
+    base_row: int = 256,
+    pair_stride: int = 8,
+    max_frequency: int = 6,
+    max_amplitude: int = 3,
+    bank_index: int = 0,
+    bubble: int = 0,
+    channel: int = 0,
+) -> Trace:
+    """Blacksmith-style fuzzed n-sided pattern (seeded, reproducible).
+
+    ``num_pairs`` double-sided aggressor pairs are laid out
+    ``pair_stride`` rows apart (one victim between the rows of each pair).
+    A seeded RNG draws a (frequency, phase, amplitude) triple per pair —
+    Blacksmith's fuzzing dimensions — and the generator unrolls the
+    resulting schedule: in repeating-period slot ``t``, every pair whose
+    phase matches emits ``amplitude`` back-to-back double-sided accesses.
+    Different seeds explore genuinely different orderings; the same seed
+    always produces byte-identical traces.
+    """
+    mapper = _mapper(dram_config)
+    rows_per_bank = mapper.config.organization.rows_per_bank
+    rng = random.Random(seed)
+    pairs = []
+    for index in range(num_pairs):
+        low = (base_row + index * pair_stride) % rows_per_bank
+        pairs.append(
+            {
+                "rows": (low, (low + 2) % rows_per_bank),
+                "frequency": rng.randint(1, max(1, max_frequency)),
+                "phase": rng.randint(0, max(1, max_frequency) - 1),
+                "amplitude": rng.randint(1, max(1, max_amplitude)),
+            }
+        )
+    entries: List[TraceEntry] = []
+    slot = 0
+    while len(entries) < num_requests:
+        emitted = False
+        for pair in pairs:
+            if (slot - pair["phase"]) % pair["frequency"] != 0:
+                continue
+            emitted = True
+            for _ in range(pair["amplitude"]):
+                for row in pair["rows"]:
+                    if len(entries) >= num_requests:
+                        break
+                    address = mapper.address_for_row(
+                        row, bank_index=bank_index, channel=channel
+                    )
+                    entries.append(TraceEntry(bubble, address, False))
+        if not emitted and len(entries) < num_requests:
+            # A slot no pair fires in: keep the bank busy with the first pair
+            # so the schedule never stalls.
+            row = pairs[0]["rows"][slot % 2]
+            address = mapper.address_for_row(row, bank_index=bank_index, channel=channel)
+            entries.append(TraceEntry(bubble, address, False))
+        slot += 1
+    return Trace(entries[:num_requests], name="synth_blacksmith")
+
+
+@register_workload("synth_sketch_aliasing", category=SYNTH_CATEGORY)
+def synth_sketch_aliasing(
+    num_requests: int = 8000,
+    dram_config: Optional[DRAMConfig] = None,
+    seed: int = 0,
+    target_row: int = 512,
+    decoy_count: int = 24,
+    decoys_per_round: int = 2,
+    bank_index: int = 0,
+    comet_hash_seed: int = 0,
+    num_hashes: int = 4,
+    counters_per_hash: int = 512,
+    bubble: int = 0,
+    channel: int = 0,
+) -> Trace:
+    """Decoy-heavy sketch-aliasing attack against CoMeT's Counter Table.
+
+    The double-sided pair ``target_row ± 1`` is hammered alternately (every
+    access a fresh row conflict, hence an ACT), interleaved with a flood of
+    decoy rows chosen by :func:`find_aliasing_decoys` to collide with each
+    other in the Counter Table while staying disjoint from the aggressors'
+    counter groups.  Two effects follow:
+
+    * the aggressors' count-min estimates stay *exact* (nothing else touches
+      their counters), so the pair reaches the preventive-refresh threshold
+      no earlier than its true activation count — maximizing the victim's
+      disturbance per epoch, unlike an unaware attack whose collisions
+      inflate estimates and trigger early refreshes; and
+    * the mutually-aliased decoys drive their shared counters up at flood
+      rate, drawing spurious preventive refreshes (false-positive pressure)
+      without protecting the real victim.
+
+    ``seed`` shuffles the decoy rotation order only; the row *selection* is
+    the deterministic whitebox computation.
+    """
+    mapper = _mapper(dram_config)
+    rows_per_bank = mapper.config.organization.rows_per_bank
+    target_row %= rows_per_bank
+    aggressors = [(target_row - 1) % rows_per_bank, (target_row + 1) % rows_per_bank]
+    bank_key = _bank_key_for_index(mapper, bank_index, channel)
+    decoys = find_aliasing_decoys(
+        aggressors,
+        rows_per_bank,
+        bank_key,
+        count=max(1, decoy_count),
+        hash_seed=comet_hash_seed,
+        num_hashes=num_hashes,
+        counters_per_hash=counters_per_hash,
+    )
+    rng = random.Random(seed)
+    rng.shuffle(decoys)
+    entries: List[TraceEntry] = []
+    decoy_cursor = 0
+    while len(entries) < num_requests:
+        for row in aggressors:
+            if len(entries) >= num_requests:
+                break
+            address = mapper.address_for_row(row, bank_index=bank_index, channel=channel)
+            entries.append(TraceEntry(bubble, address, False))
+        for _ in range(decoys_per_round):
+            if len(entries) >= num_requests:
+                break
+            row = decoys[decoy_cursor % len(decoys)]
+            decoy_cursor += 1
+            address = mapper.address_for_row(row, bank_index=bank_index, channel=channel)
+            entries.append(TraceEntry(bubble, address, False))
+    return Trace(entries[:num_requests], name="synth_sketch_aliasing")
+
+
+@register_workload("synth_rowpress", category=SYNTH_CATEGORY)
+def synth_rowpress(
+    num_requests: int = 8000,
+    dram_config: Optional[DRAMConfig] = None,
+    seed: int = 0,
+    target_row: int = 768,
+    hits_per_open: int = 48,
+    bank_index: int = 0,
+    open_bubble: int = 24,
+    bubble: int = 0,
+    channel: int = 0,
+) -> Trace:
+    """RowPress-style long-open-row sequence.
+
+    Each episode activates one aggressor of the double-sided pair
+    ``target_row ± 1`` and then streams ``hits_per_open`` same-row column
+    reads (row-buffer hits with ``open_bubble`` compute instructions between
+    them), keeping the row open for as long as the refresh schedule allows
+    before toggling to the sibling aggressor.  The ACT *rate* is tiny
+    compared to a classic hammer — what is maximized is aggressor-row open
+    time per activation, the RowPress amplification vector — so this
+    pattern probes how mechanisms behave when almost all pressure is
+    open-time rather than activation count.
+    """
+    mapper = _mapper(dram_config)
+    org = mapper.config.organization
+    rows_per_bank = org.rows_per_bank
+    target_row %= rows_per_bank
+    aggressors = [(target_row - 1) % rows_per_bank, (target_row + 1) % rows_per_bank]
+    rng = random.Random(seed)
+    entries: List[TraceEntry] = []
+    side = 0
+    while len(entries) < num_requests:
+        row = aggressors[side % 2]
+        side += 1
+        # Opening access (row conflict with the sibling: a fresh ACT) ...
+        entries.append(
+            TraceEntry(
+                bubble,
+                mapper.address_for_row(row, bank_index=bank_index, channel=channel),
+                False,
+            )
+        )
+        # ... then a long run of same-row hits that keeps the row open.
+        for _ in range(hits_per_open):
+            if len(entries) >= num_requests:
+                break
+            column = rng.randrange(0, org.columns_per_row, 8)
+            entries.append(
+                TraceEntry(
+                    open_bubble,
+                    mapper.address_for_row(
+                        row, bank_index=bank_index, column=column, channel=channel
+                    ),
+                    False,
+                )
+            )
+    return Trace(entries[:num_requests], name="synth_rowpress")
+
+
+@register_workload("synth_refresh_wave", category=SYNTH_CATEGORY)
+def synth_refresh_wave(
+    num_requests: int = 8000,
+    dram_config: Optional[DRAMConfig] = None,
+    seed: int = 0,
+    target_row: int = 1024,
+    burst_activations: int = 24,
+    gap_fraction: float = 0.45,
+    reset_period_divider: int = 3,
+    issue_rate: Optional[float] = None,
+    bank_index: int = 0,
+    bubble: int = 0,
+    channel: int = 0,
+) -> Trace:
+    """Refresh-window-straddling "wave" attack.
+
+    Short double-sided bursts on ``target_row ± 1`` separated by idle gaps
+    sized from the DRAM configuration: the gap spans ``gap_fraction`` of the
+    (scaled) refresh window, floored at one counter-reset period
+    (``tREFW / k``, ``k = reset_period_divider``), so consecutive bursts
+    land in different reset epochs even when ``gap_fraction`` is dialed
+    down.  Counter-based trackers forget the first
+    burst at the epoch boundary while the victim's physical disturbance
+    persists until its *own* periodic refresh, which is exactly the gap the
+    Section 5 invariant has to close.  ``burst_activations`` counts total
+    ACTs per wave across both aggressors; the default is deliberately below
+    any default preventive-refresh threshold so waves accumulate silently.
+
+    The idle gaps are realized as one giant-``bubble_count`` entry computed
+    from the core model's issue rate (``issue_rate`` defaults to the Table 2
+    core's ``width * cpu_to_mem_ratio``), so the trace needs no simulator
+    cooperation to keep time.
+    """
+    mapper = _mapper(dram_config)
+    config = mapper.config
+    rows_per_bank = config.organization.rows_per_bank
+    target_row %= rows_per_bank
+    aggressors = [(target_row - 1) % rows_per_bank, (target_row + 1) % rows_per_bank]
+    if issue_rate is None:
+        issue_rate = CoreConfig().issue_rate_per_mem_cycle
+    # The gap spans ``gap_fraction`` of the refresh window but never less
+    # than one counter-reset period (tREFW / k), so the straddle survives a
+    # small ``gap_fraction``.
+    reset_period = config.tREFW // max(1, reset_period_divider)
+    gap_cycles = max(1, int(config.tREFW * gap_fraction), reset_period + 1)
+    gap_bubbles = max(1, int(gap_cycles * issue_rate))
+    entries: List[TraceEntry] = []
+    while len(entries) < num_requests:
+        for index in range(max(2, burst_activations)):
+            if len(entries) >= num_requests:
+                break
+            row = aggressors[index % 2]
+            entries.append(
+                TraceEntry(
+                    bubble,
+                    mapper.address_for_row(row, bank_index=bank_index, channel=channel),
+                    False,
+                )
+            )
+        if len(entries) < num_requests:
+            # The wave gap: idle long enough for a counter-reset epoch to
+            # elapse before the next burst.
+            entries.append(
+                TraceEntry(
+                    gap_bubbles,
+                    mapper.address_for_row(
+                        aggressors[0], bank_index=bank_index, channel=channel
+                    ),
+                    False,
+                )
+            )
+    return Trace(entries[:num_requests], name="synth_refresh_wave")
+
+
+@register_workload("synth_multichannel", category=SYNTH_CATEGORY)
+def synth_multichannel(
+    num_requests: int = 8000,
+    dram_config: Optional[DRAMConfig] = None,
+    seed: int = 0,
+    target_row: int = 640,
+    channel_stride: int = 16,
+    bank_index: int = 0,
+    bubble: int = 0,
+    channel: int = 0,
+) -> Trace:
+    """Coordinated multi-channel double-sided attack.
+
+    One double-sided pair per memory channel (offset ``channel_stride`` rows
+    per channel so the pairs are distinct rows), interleaved round-robin
+    across channels: every channel's mitigation instance is pressured at the
+    same time, which is the scenario the per-channel fabric's isolation
+    properties are audited under.  On a single-channel configuration this
+    degenerates to one ordinary double-sided pair, so the pattern is safe in
+    1-channel grids too.  ``channel`` offsets the round-robin start.
+    """
+    mapper = _mapper(dram_config)
+    org = mapper.config.organization
+    rows_per_bank = org.rows_per_bank
+    per_channel_pairs = []
+    for ch in range(org.channels):
+        base = (target_row + ch * channel_stride) % rows_per_bank
+        per_channel_pairs.append(
+            [(base - 1) % rows_per_bank, (base + 1) % rows_per_bank]
+        )
+    entries: List[TraceEntry] = []
+    turn = 0
+    while len(entries) < num_requests:
+        ch = (channel + turn) % org.channels
+        # The pair side advances once per full round over the channels: with
+        # ``turn % 2`` it would phase-lock to the channel on every even
+        # channel count (all >1-channel configs are powers of two) and each
+        # channel would hammer a single open row — no ACT pressure at all.
+        row = per_channel_pairs[ch][(turn // org.channels) % 2]
+        address = mapper.address_for_row(row, bank_index=bank_index, channel=ch)
+        entries.append(TraceEntry(bubble, address, False))
+        turn += 1
+    return Trace(entries[:num_requests], name="synth_multichannel")

@@ -42,7 +42,10 @@ from repro.sim.system import SimulationResult
 #: v3: the declarative experiment API — :class:`SweepRunner` also executes
 #: :class:`~repro.experiment.spec.ExperimentSpec` items, keyed by the
 #: sha256 of their canonical spec JSON.
-SWEEP_CACHE_VERSION = 3
+#: v4: the security-audit subsystem — :class:`SimulationResult` grew
+#: ``security_violations``/``first_violation_cycle`` (cached pickles from v3
+#: would deserialize without the new attributes).
+SWEEP_CACHE_VERSION = 4
 
 _CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 

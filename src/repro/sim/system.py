@@ -44,6 +44,10 @@ class SystemConfig:
     #: RowHammer threshold used by the security verifier (the mitigation's own
     #: threshold is configured on the mitigation object).
     nrh_for_verification: Optional[int] = None
+    #: ``False`` runs the verifiers in their streaming max-margin mode (the
+    #: verdict, count, first-violation cycle and max disturbance are kept;
+    #: per-violation objects are not) — what security audits use.
+    record_violations: bool = True
     max_steps: int = 200_000_000
 
 
@@ -67,6 +71,11 @@ class SimulationResult:
     security_ok: bool
     max_disturbance: int
     steps: int
+    #: Total RowHammer-invariant violations across every channel's verifier
+    #: (0 when verification was off or the run was secure).
+    security_violations: int = 0
+    #: Earliest cycle any verifier saw a violation (``None`` when secure).
+    first_violation_cycle: Optional[int] = None
 
     @property
     def ipc(self) -> float:
@@ -126,7 +135,11 @@ class System:
             if nrh is None and self.mitigation is not None:
                 nrh = self.mitigation.nrh
             self.verifiers = [
-                SecurityVerifier(controller.dram, nrh=nrh or 10**9)
+                SecurityVerifier(
+                    controller.dram,
+                    nrh=nrh or 10**9,
+                    record_violations=self.config.record_violations,
+                )
                 for controller in self.fabric.controllers
             ]
         self.cores: List[Core] = []
@@ -214,10 +227,19 @@ class System:
                 "counter_resets": stats.counter_resets,
             }
             mitigation_stats.update(stats.extra)
-        security_ok = all(not verifier.violations for verifier in self.verifiers)
+        security_ok = all(verifier.is_secure for verifier in self.verifiers)
         max_disturbance = max(
             (verifier.max_disturbance for verifier in self.verifiers), default=0
         )
+        security_violations = sum(
+            verifier.violation_count for verifier in self.verifiers
+        )
+        violation_cycles = [
+            verifier.first_violation_cycle
+            for verifier in self.verifiers
+            if verifier.first_violation_cycle is not None
+        ]
+        first_violation_cycle = min(violation_cycles) if violation_cycles else None
 
         return SimulationResult(
             name=self.name,
@@ -236,4 +258,6 @@ class System:
             security_ok=security_ok,
             max_disturbance=max_disturbance,
             steps=self._steps,
+            security_violations=security_violations,
+            first_violation_cycle=first_violation_cycle,
         )
