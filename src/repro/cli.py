@@ -9,6 +9,12 @@ through a :class:`~repro.experiment.session.Session`.
 ``python -m repro.cli workloads``
     List the 61-workload suite grouped by memory-intensity category.
 
+``python -m repro.cli list``
+    List every registered component: mitigation mechanisms (with their
+    construction metadata and design thresholds), workloads (including the
+    ``synth_*`` adversarial patterns) and the controller policies of the
+    three policy axes.
+
 ``python -m repro.cli run --workload 429.mcf --mitigation comet --nrh 125``
     Run one workload under one mitigation and print the result summary
     (normalized IPC against the unprotected baseline included).
@@ -27,6 +33,10 @@ through a :class:`~repro.experiment.session.Session`.
 ``python -m repro.cli sweep --workloads 429.mcf --mitigations comet para --nrh 1000 125``
     Fan a mitigation x threshold grid across worker processes through the
     on-disk result cache and print every point (Figures 6-9 pattern).
+    ``--scheduler/--row-policy/--refresh-policy`` accept several values and
+    become controller-policy sweep axes (every workload x mitigation x NRH
+    cell repeated per policy triple, each normalized to a baseline running
+    the same policies).
 
 ``python -m repro.cli audit --mitigations all --patterns all --nrh 125``
     Run a security-audit campaign: every protective mechanism against every
@@ -47,7 +57,20 @@ from typing import Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.area.model import comet_area_report, graphene_area_report, hydra_area_report
-from repro.experiment.registry import mitigation_names
+from repro.controller.policies import (
+    ControllerPolicySpec,
+    normalize_policy,
+    policy_catalog,
+    refresh_policy_names,
+    row_policy_names,
+    scheduler_names,
+)
+from repro.experiment.registry import (
+    mitigation_entries,
+    mitigation_names,
+    registered_workload_names,
+    workload_entry,
+)
 from repro.experiment.session import Session
 from repro.experiment.spec import (
     ExperimentSpec,
@@ -78,6 +101,62 @@ def _channel_count(value: str) -> int:
     return channels
 
 
+def _add_policy_arguments(
+    parser: argparse.ArgumentParser, sweepable: bool = False
+) -> None:
+    """Controller-policy flags; ``sweepable`` turns them into grid axes."""
+    nargs = "+" if sweepable else None
+    plural = " (several values sweep the axis)" if sweepable else ""
+    parser.add_argument(
+        "--scheduler",
+        nargs=nargs,
+        default=["fr_fcfs"] if sweepable else "fr_fcfs",
+        choices=scheduler_names(),
+        help=f"request scheduling policy{plural}",
+    )
+    parser.add_argument(
+        "--row-policy",
+        nargs=nargs,
+        default=["open_page"] if sweepable else "open_page",
+        choices=row_policy_names(),
+        help=f"row-buffer policy{plural}",
+    )
+    parser.add_argument(
+        "--refresh-policy",
+        nargs=nargs,
+        default=["all_bank"] if sweepable else "all_bank",
+        choices=refresh_policy_names(),
+        help=f"periodic refresh mode{plural}",
+    )
+
+
+def _policy_from_args(args: argparse.Namespace):
+    """The single policy triple named by run/compare/attack flags (or None)."""
+    return normalize_policy(
+        ControllerPolicySpec(
+            scheduler=args.scheduler,
+            row_policy=args.row_policy,
+            refresh_policy=args.refresh_policy,
+        )
+    )
+
+
+def _policies_from_args(args: argparse.Namespace):
+    """Cross-product of the sweepable policy flags, defaults normalized."""
+    return [
+        normalize_policy(
+            ControllerPolicySpec(
+                scheduler=scheduler,
+                row_policy=row_policy,
+                refresh_policy=refresh_policy,
+            )
+        )
+        for scheduler in args.scheduler
+        for row_policy in args.row_policy
+        for refresh_policy in args.refresh_policy
+    ]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -86,6 +165,11 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("workloads", help="list the synthetic workload suite")
+
+    subparsers.add_parser(
+        "list",
+        help="list registered mitigations, workloads and controller policies",
+    )
 
     run_parser = subparsers.add_parser("run", help="run one workload under one mitigation")
     _add_common_arguments(run_parser)
@@ -134,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--target-channel", type=int, default=0,
         help="channel the attack hammers (others stay benign-idle)",
     )
+    _add_policy_arguments(attack_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="run a mitigation x threshold grid through the sweep executor"
@@ -155,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--channels", type=_channel_count, nargs="+", default=[1],
         help="memory channel counts to sweep (fabric width axis)",
     )
+    _add_policy_arguments(sweep_parser, sweepable=True)
     sweep_parser.add_argument(
         "--requests", type=int, default=8000, help="trace length in requests"
     )
@@ -195,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit_parser.add_argument(
         "--seed", type=int, default=0, help="pattern-synthesis seed (reproducible)"
     )
+    _add_policy_arguments(audit_parser, sweepable=True)
     audit_parser.add_argument(
         "--include-baseline", action="store_true",
         help="also audit the unprotected baseline (expected insecure)",
@@ -228,6 +315,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--channels", type=_channel_count, default=1,
         help="memory channels (fabric width)",
     )
+    _add_policy_arguments(parser)
 
 
 def _session(args: Optional[argparse.Namespace] = None) -> Session:
@@ -239,6 +327,55 @@ def _session(args: Optional[argparse.Namespace] = None) -> Session:
             use_cache=not args.no_cache,
         )
     return Session(max_workers=0, use_cache=False)
+
+
+def _command_list(_args: argparse.Namespace) -> str:
+    from repro.security.audit import design_nrh
+
+    sections = []
+    mitigation_rows = []
+    for name, entry in sorted(mitigation_entries().items()):
+        mitigation_rows.append(
+            {
+                "mitigation": name,
+                "takes_nrh": entry.takes_nrh,
+                "seedable": entry.seedable,
+                "design_nrh": design_nrh(name) if name != "none" else "-",
+            }
+        )
+    sections.append(
+        format_table(mitigation_rows, title="registered mitigation mechanisms")
+    )
+
+    workload_rows = []
+    for name in registered_workload_names():
+        workload_rows.append(
+            {"category": workload_entry(name).category, "workload": name}
+        )
+    workload_rows.sort(key=lambda row: (row["category"], row["workload"]))
+    sections.append(
+        format_table(
+            workload_rows,
+            title=f"registered workloads ({len(workload_rows)}, incl. synth_* patterns)",
+        )
+    )
+
+    policy_rows = [
+        {
+            "axis": entry.kind,
+            "policy": entry.name,
+            "params": ", ".join(entry.params) or "-",
+            "description": entry.description,
+        }
+        for entry in policy_catalog()
+    ]
+    sections.append(
+        format_table(
+            policy_rows,
+            title="controller policies (--scheduler / --row-policy / --refresh-policy)",
+        )
+    )
+    return "\n\n".join(sections)
 
 
 def _command_workloads(_args: argparse.Namespace) -> str:
@@ -253,11 +390,12 @@ def _command_run(args: argparse.Namespace) -> str:
     if args.spec is not None:
         return _run_spec_file(args)
     session = _session()
+    policy = _policy_from_args(args)
     records = session.compare(
         WorkloadSpec(name=args.workload, num_requests=args.requests),
         [args.mitigation],
         nrh=args.nrh,
-        platform=PlatformSpec(channels=args.channels),
+        platform=PlatformSpec(channels=args.channels, controller=policy),
     )
     baseline, result = records["none"].result, records[args.mitigation].result
     normalized = result.ipc / baseline.ipc if baseline.ipc else 0.0
@@ -272,6 +410,8 @@ def _command_run(args: argparse.Namespace) -> str:
             "secure": result.security_ok,
         }
     ]
+    if policy is not None:
+        rows[0]["policy"] = policy.label()
     return format_table(rows, title="single-core run")
 
 
@@ -309,7 +449,9 @@ def _command_compare(args: argparse.Namespace) -> str:
         WorkloadSpec(name=args.workload, num_requests=args.requests),
         mitigations,
         nrh=args.nrh,
-        platform=PlatformSpec(channels=args.channels),
+        platform=PlatformSpec(
+            channels=args.channels, controller=_policy_from_args(args)
+        ),
     )
     baseline = records["none"].result
     rows = []
@@ -343,7 +485,9 @@ def _command_attack(args: argparse.Namespace) -> str:
             params={"aggressor_rows_per_bank": 2, "channel": args.target_channel},
         ),
         mitigation=MitigationSpec(name=args.mitigation, nrh=args.nrh),
-        platform=PlatformSpec(channels=args.channels),
+        platform=PlatformSpec(
+            channels=args.channels, controller=_policy_from_args(args)
+        ),
     )
     result = _session().run(spec).result
     rows = [
@@ -359,17 +503,26 @@ def _command_attack(args: argparse.Namespace) -> str:
 
 
 def _command_sweep(args: argparse.Namespace) -> str:
+    policies = _policies_from_args(args)
     specs = expand_grid(
         workloads=args.workloads,
         mitigations=args.mitigations,
         nrhs=args.nrh,
         num_requests=args.requests,
         channels=args.channels,
+        policies=policies,
     )
     session = _session(args)
     records = session.run_many(specs)
+    show_policy = any(policy is not None for policy in policies)
+
+    def _policy_label(spec):
+        controller = spec.platform.controller
+        return controller.label() if controller is not None else "default"
+
     baselines = {
-        (spec.workload.name, spec.platform.channel_count): record.result
+        (spec.workload.name, spec.platform.channel_count, _policy_label(spec)):
+            record.result
         for spec, record in zip(specs, records)
         if spec.mitigation.name == "none"
     }
@@ -378,18 +531,21 @@ def _command_sweep(args: argparse.Namespace) -> str:
         if spec.mitigation.name == "none":
             continue
         result = record.result
-        baseline = baselines[(spec.workload.name, spec.platform.channel_count)]
-        rows.append(
-            {
-                "workload": spec.workload.name,
-                "mitigation": spec.mitigation.name,
-                "nrh": spec.mitigation.nrh,
-                "channels": spec.platform.channel_count,
-                "normalized_IPC": round(result.ipc / baseline.ipc, 4) if baseline.ipc else 0.0,
-                "preventive_refreshes": result.preventive_refreshes,
-                "secure": result.security_ok,
-            }
-        )
+        baseline = baselines[
+            (spec.workload.name, spec.platform.channel_count, _policy_label(spec))
+        ]
+        row = {
+            "workload": spec.workload.name,
+            "mitigation": spec.mitigation.name,
+            "nrh": spec.mitigation.nrh,
+            "channels": spec.platform.channel_count,
+            "normalized_IPC": round(result.ipc / baseline.ipc, 4) if baseline.ipc else 0.0,
+            "preventive_refreshes": result.preventive_refreshes,
+            "secure": result.security_ok,
+        }
+        if show_policy:
+            row["policy"] = _policy_label(spec)
+        rows.append(row)
     cache_note = ""
     if not args.no_cache:
         cache_note = f" (cache: {session.cache_hits} hits, {session.cache_misses} misses)"
@@ -415,6 +571,7 @@ def _command_audit(args: argparse.Namespace) -> str:
         channels=args.channels,
         seed=args.seed,
         include_baseline=args.include_baseline,
+        policies=_policies_from_args(args),
         session=session,
     )
     if args.out is not None:
@@ -439,6 +596,7 @@ def _command_area(args: argparse.Namespace) -> str:
 
 _COMMANDS = {
     "workloads": _command_workloads,
+    "list": _command_list,
     "run": _command_run,
     "compare": _command_compare,
     "attack": _command_attack,

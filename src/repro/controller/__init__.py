@@ -1,10 +1,14 @@
 """Memory-controller substrate.
 
 This subpackage models the memory controller of Table 2 in the paper:
-64-entry read and write queues, FR-FCFS scheduling with a 16-column cap,
-open-page row-buffer policy, periodic refresh management, and the hooks that
-RowHammer mitigations use (preventive-refresh injection, activation
-throttling, mitigation-generated memory traffic).
+64-entry read and write queues, periodic refresh management, and the hooks
+that RowHammer mitigations use (preventive-refresh injection, activation
+throttling, mitigation-generated memory traffic).  Scheduling is
+policy-driven (:mod:`repro.controller.policies`): a
+:class:`ControllerPolicySpec` picks the scheduler (FR-FCFS with a 16-column
+cap by default), the row-buffer policy (open-page by default) and the
+refresh mode (all-bank by default), each a registered, spec-serializable,
+independently sweepable component.
 
 Multi-channel systems are assembled from channel-scoped controllers by
 :class:`~repro.controller.fabric.ChannelFabric`, which routes requests by
@@ -12,6 +16,17 @@ Multi-channel systems are assembled from channel-scoped controllers by
 """
 
 from repro.controller.request import MemoryRequest, RequestType
+from repro.controller.policies import (
+    NEVER,
+    ControllerPolicySpec,
+    RefreshPolicy,
+    RowPolicy,
+    SchedulingPolicy,
+    policy_catalog,
+    refresh_policy_names,
+    row_policy_names,
+    scheduler_names,
+)
 from repro.controller.controller import MemoryController, ControllerConfig
 from repro.controller.fabric import ChannelFabric
 
@@ -20,5 +35,14 @@ __all__ = [
     "RequestType",
     "MemoryController",
     "ControllerConfig",
+    "ControllerPolicySpec",
     "ChannelFabric",
+    "NEVER",
+    "SchedulingPolicy",
+    "RowPolicy",
+    "RefreshPolicy",
+    "policy_catalog",
+    "scheduler_names",
+    "row_policy_names",
+    "refresh_policy_names",
 ]

@@ -1,4 +1,4 @@
-"""FR-FCFS memory controller with RowHammer-mitigation hooks.
+"""Policy-driven memory controller with RowHammer-mitigation hooks.
 
 The controller owns the read/write queues, the refresh schedule and the
 preventive-refresh queue, and drives the :class:`~repro.dram.dram_system.DRAMSystem`
@@ -8,34 +8,57 @@ asks for the earliest cycle at which the controller can do useful work
 one command (:meth:`MemoryController.issue_next`), so no cycles are spent
 spinning over idle periods.
 
-Scheduling policy (Table 2 of the paper):
+What used to be one monolithic FR-FCFS/open-page/all-bank scheduler is now a
+:class:`~repro.controller.policies.ControllerPolicySpec` naming one policy
+per axis (see :mod:`repro.controller.policies`):
 
-* FR-FCFS — among requests to a bank, row hits are served first, oldest
-  first, with a *column cap* of 16 consecutive column accesses per open row
-  so a stream of row hits cannot starve row-miss requests.
-* Open-page policy — rows stay open until a conflicting request or a refresh
-  needs the bank.
-* Writes are buffered and drained in bursts when the write queue passes a
-  high watermark or the read queue is empty.
-* Periodic refresh — each rank receives one REF every tREFI; refreshes take
-  priority once due.  Mitigations may also schedule extra rank-level
-  refreshes (CoMeT's early preventive refresh) and per-row preventive
-  refreshes, which are served with priority over demand traffic
-  (Section 7.2.2 of the paper).
+* the **scheduling policy** picks which pending request each bank serves
+  next (``fr_fcfs`` with the column-cap starvation guard — the paper's
+  Table 2 controller and the default — plus ``fcfs`` and the BLISS-style
+  ``bliss``);
+* the **row policy** decides what happens to an open row once its bank has
+  no queued work (``open_page`` — the default — plus ``closed_page`` and
+  ``adaptive_timeout``), contributing speculative PRE candidates that
+  compete with demand commands on issue cycle;
+* the **refresh policy** shapes the periodic-refresh schedule by rewriting
+  ``tREFI``/``tRFC`` before the device model is built (``all_bank`` — the
+  default — plus DDR4 ``fine_granularity`` 2x/4x modes).
+
+The controller still owns everything policy-independent: queue capacity and
+the write-drain watermarks (writes buffer until the queue passes
+``write_drain_high`` and drain until ``write_drain_low``), refresh due-time
+bookkeeping with priority over demand traffic, the preventive-refresh queue
+mitigations fill (CoMeT's ACT+PRE victim refreshes, served with priority per
+Section 7.2.2 of the paper), and the mitigation hooks (activation observers,
+BlockHammer-style ACT throttling, mitigation-injected traffic).
+
+Command selection is incremental: pending requests are indexed per bank in
+arrival order as they enqueue (:class:`_BankPending`), so each selection
+visits only banks that have work and stops scanning a bank as soon as the
+scheduling policy's answer is determined, instead of re-bucketing and
+re-sorting the full queues on every call.  The default policy triple is
+bit-identical to the pre-policy controller — decision ties are broken by an
+explicit scan key that reproduces the old queue-scan order exactly — and is
+pinned by the golden traces under ``tests/golden/``.
 """
 
 from __future__ import annotations
 
+from bisect import insort
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.controller.policies import (
+    NEVER,
+    ControllerPolicySpec,
+    DEFAULT_POLICY,
+)
 from repro.controller.request import MemoryRequest, RequestType
 from repro.dram.address import AddressMapper, DRAMAddress
 from repro.dram.commands import Command, CommandKind
 from repro.dram.config import DRAMConfig
 from repro.dram.dram_system import DRAMSystem
-
-_INFINITY = float("inf")
 
 
 @dataclass(frozen=True)
@@ -51,7 +74,14 @@ class ControllerConfig:
 
 @dataclass
 class ControllerStatistics:
-    """Aggregate controller statistics used by metrics and reports."""
+    """Aggregate controller statistics used by metrics and reports.
+
+    ``row_hits``/``row_misses``/``row_conflicts`` attribute every demand
+    scheduling decision: a column command served from the open row is a hit,
+    a demand ACT is a miss (the row had to be opened) and a demand PRE is a
+    conflict (an open row had to make way).  Per-core dicts default missing
+    cores to zero, so hot-path accounting needs no existence checks.
+    """
 
     read_requests: int = 0
     write_requests: int = 0
@@ -63,8 +93,12 @@ class ControllerStatistics:
     row_hits: int = 0
     row_misses: int = 0
     row_conflicts: int = 0
-    per_core_read_latency: Dict[int, int] = field(default_factory=dict)
-    per_core_reads: Dict[int, int] = field(default_factory=dict)
+    #: Speculative precharges issued on behalf of the row policy.
+    policy_precharges: int = 0
+    per_core_read_latency: Dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    per_core_reads: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
 
     @property
     def average_read_latency(self) -> float:
@@ -77,12 +111,68 @@ class ControllerStatistics:
         self.total_read_latency += latency
         self.completed_reads += 1
         if request.core_id is not None:
-            self.per_core_read_latency[request.core_id] = (
-                self.per_core_read_latency.get(request.core_id, 0) + latency
+            self.per_core_read_latency[request.core_id] += latency
+            self.per_core_reads[request.core_id] += 1
+
+
+def _request_sort_key(request: MemoryRequest) -> Tuple[int, int]:
+    return (request.arrival_cycle, request.request_id)
+
+
+class _BankPending:
+    """Pending requests of one bank, kept in (arrival, request-id) order.
+
+    ``min_seq`` is the smallest controller enqueue sequence number among the
+    requests — the deterministic tie-break reproducing the order in which
+    the old full-queue scan first encountered each bank.
+    """
+
+    __slots__ = ("requests", "min_seq")
+
+    def __init__(self) -> None:
+        self.requests: List[MemoryRequest] = []
+        self.min_seq: int = NEVER
+
+    def add(self, request: MemoryRequest, seq: int) -> None:
+        if seq < self.min_seq:
+            self.min_seq = seq
+        requests = self.requests
+        if not requests or _request_sort_key(requests[-1]) <= _request_sort_key(request):
+            requests.append(request)
+        else:
+            # Out-of-order arrival (a retried request that was created before
+            # requests that beat it into the queue): keep the list sorted.
+            insort(requests, request, key=_request_sort_key)
+
+    def remove(self, request: MemoryRequest) -> None:
+        self.requests.remove(request)
+        if getattr(request, "_enqueue_seq", NEVER) == self.min_seq:
+            self.min_seq = min(
+                (getattr(r, "_enqueue_seq", NEVER) for r in self.requests),
+                default=NEVER,
             )
-            self.per_core_reads[request.core_id] = (
-                self.per_core_reads.get(request.core_id, 0) + 1
-            )
+
+
+def _merge_pending(
+    read_list: List[MemoryRequest], write_list: List[MemoryRequest]
+) -> List[MemoryRequest]:
+    """Merge two sorted per-bank lists in global (arrival, request-id) order."""
+    merged: List[MemoryRequest] = []
+    i = j = 0
+    while i < len(read_list) and j < len(write_list):
+        if _request_sort_key(read_list[i]) <= _request_sort_key(write_list[j]):
+            merged.append(read_list[i])
+            i += 1
+        else:
+            merged.append(write_list[j])
+            j += 1
+    merged.extend(read_list[i:])
+    merged.extend(write_list[j:])
+    return merged
+
+
+#: Shared empty index for inactive queue classes (skips per-call dict churn).
+_NO_PENDING: Dict[Tuple[int, int, int, int], _BankPending] = {}
 
 
 class MemoryController:
@@ -91,7 +181,9 @@ class MemoryController:
     Parameters
     ----------
     dram_config:
-        DRAM organization/timing; a fresh :class:`DRAMSystem` is built from it.
+        DRAM organization/timing; a fresh :class:`DRAMSystem` is built from it
+        (after the refresh policy and the mitigation had their chance to
+        rewrite it).
     config:
         Queue sizes and scheduling knobs.
     mitigation:
@@ -107,6 +199,12 @@ class MemoryController:
         (the default) keeps the monolithic all-channel behaviour used by
         direct unit tests; the :class:`~repro.controller.fabric.ChannelFabric`
         always builds channel-scoped controllers.
+    policy:
+        The :class:`~repro.controller.policies.ControllerPolicySpec` naming
+        the scheduling, row and refresh policies.  ``None`` selects the
+        default triple (``fr_fcfs``, ``open_page``, ``all_bank``), which is
+        bit-identical to the pre-policy controller.  Policy instances are
+        built per controller (they may be stateful).
     """
 
     def __init__(
@@ -115,10 +213,14 @@ class MemoryController:
         config: Optional[ControllerConfig] = None,
         mitigation=None,
         channel: Optional[int] = None,
+        policy: Optional[ControllerPolicySpec] = None,
     ) -> None:
         self.config = config or ControllerConfig()
         self.mitigation = mitigation
         self.channel = channel
+        self.policy_spec = policy or DEFAULT_POLICY
+        self.scheduler, self.row_policy, self.refresh_policy = self.policy_spec.build()
+        dram_config = self.refresh_policy.adjust_dram_config(dram_config)
         if mitigation is not None:
             dram_config = mitigation.adjust_dram_config(dram_config)
         self.dram_config = dram_config
@@ -135,6 +237,16 @@ class MemoryController:
         self.read_queue: List[MemoryRequest] = []
         self.write_queue: List[MemoryRequest] = []
         self.preventive_queue: List[MemoryRequest] = []
+        #: Incremental per-bank index over the demand queues: requests are
+        #: filed under their bank at enqueue time and removed at completion,
+        #: so command selection never re-buckets the full queues.
+        self._bank_reads: Dict[Tuple[int, int, int, int], _BankPending] = {}
+        self._bank_writes: Dict[Tuple[int, int, int, int], _BankPending] = {}
+        #: Per-bank read+write merge, reused across selections while the
+        #: bank's queues are untouched (ACT/PRE issues touch no queue, so a
+        #: multi-command service pays for at most one merge per bank).
+        self._merged_cache: Dict[Tuple[int, int, int, int], List[MemoryRequest]] = {}
+        self._enqueue_seq = 0
 
         org = dram_config.organization
         channels = range(org.channels) if channel is None else (channel,)
@@ -176,6 +288,7 @@ class MemoryController:
             if len(self.read_queue) >= self.config.read_queue_size:
                 return False
             self.read_queue.append(request)
+            self._index_request(self._bank_reads, request)
             if request.is_mitigation_traffic:
                 self.stats.mitigation_requests += 1
             else:
@@ -184,6 +297,7 @@ class MemoryController:
             if len(self.write_queue) >= self.config.write_queue_size:
                 return False
             self.write_queue.append(request)
+            self._index_request(self._bank_writes, request)
             if request.is_mitigation_traffic:
                 self.stats.mitigation_requests += 1
             else:
@@ -192,6 +306,30 @@ class MemoryController:
             self.preventive_queue.append(request)
             self.stats.preventive_refreshes += 1
         return True
+
+    def _index_request(
+        self,
+        index: Dict[Tuple[int, int, int, int], _BankPending],
+        request: MemoryRequest,
+    ) -> None:
+        seq = self._enqueue_seq
+        self._enqueue_seq += 1
+        request.__dict__["_enqueue_seq"] = seq
+        bank_key = request.address.bank_key
+        self._merged_cache.pop(bank_key, None)
+        pending = index.get(bank_key)
+        if pending is None:
+            pending = index[bank_key] = _BankPending()
+        pending.add(request, seq)
+
+    def _unindex_request(self, request: MemoryRequest) -> None:
+        index = self._bank_writes if request.is_write else self._bank_reads
+        bank_key = request.address.bank_key
+        self._merged_cache.pop(bank_key, None)
+        pending = index[bank_key]
+        pending.remove(request)
+        if not pending.requests:
+            del index[bank_key]
 
     def schedule_preventive_refresh(self, address: DRAMAddress, cycle: int) -> None:
         """Queue a preventive refresh (ACT+PRE) of ``address``'s row."""
@@ -229,6 +367,10 @@ class MemoryController:
             return True
         return any(count > 0 for count in self.extra_rank_refreshes.values())
 
+    def has_pending_for_bank(self, bank_key: Tuple[int, int, int, int]) -> bool:
+        """True when any demand request targets ``bank_key`` (row policies)."""
+        return bank_key in self._bank_reads or bank_key in self._bank_writes
+
     # ------------------------------------------------------------------ #
     # Observers wiring mitigation <-> DRAM
     # ------------------------------------------------------------------ #
@@ -259,8 +401,9 @@ class MemoryController:
         state changed in between, hands it back to :meth:`issue_decision` so
         command selection runs once per issued command instead of twice.  A
         cached decision stays the right choice at its issue cycle unless a
-        periodic refresh becomes due in between — check
-        :meth:`refresh_crosses_due` before trusting it.
+        periodic refresh becomes due in between or the scheduling policy's
+        priorities shift (BLISS' clearing interval) — check
+        :meth:`decision_crosses_boundary` before trusting it.
         """
         return self._choose_command(cycle)
 
@@ -286,6 +429,18 @@ class MemoryController:
             return False
         return any(start < due <= end for due in self.next_refresh_due.values())
 
+    def decision_crosses_boundary(self, start: int, end: int) -> bool:
+        """True when a decision made at ``start`` may be wrong by ``end``.
+
+        Covers both invalidation sources the queues cannot signal: a
+        periodic refresh becoming due (outranks any cached demand command)
+        and a scheduling-policy priority boundary (a time-varying scheduler
+        such as BLISS re-ranks pending requests at its clearing interval).
+        """
+        return self.refresh_crosses_due(start, end) or (
+            self.scheduler.priority_boundary_crossed(start, end)
+        )
+
     def issue_next(self, cycle: int) -> Optional[int]:
         """Issue the best command at the earliest legal cycle >= ``cycle``.
 
@@ -296,6 +451,16 @@ class MemoryController:
         if decision is None:
             return None
         return self.issue_decision(decision)
+
+    def demand_act_cycle(
+        self, request: MemoryRequest, command: Command, cycle: int
+    ) -> int:
+        """Earliest legal cycle for a demand ACT, mitigation throttle applied."""
+        issue_cycle = self.dram.earliest_issue_cycle(command, cycle)
+        if self.mitigation is None:
+            return issue_cycle
+        allowed = self.mitigation.act_allowed_cycle(request.address, issue_cycle)
+        return max(issue_cycle, allowed)
 
     # -- command selection ------------------------------------------------
     def _choose_command(
@@ -435,97 +600,86 @@ class MemoryController:
         self, cycle: int
     ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
         self._update_drain_mode()
-        queues: List[List[MemoryRequest]] = []
-        if self.read_queue:
-            queues.append(self.read_queue)
-        if self.write_queue and (self._draining_writes or not self.read_queue):
-            queues.append(self.write_queue)
-        if not queues:
-            return None
-
-        # Group requests by bank, preserving arrival order inside each bank.
-        by_bank: Dict[Tuple[int, int, int, int], List[MemoryRequest]] = {}
-        for queue in queues:
-            for request in queue:
-                by_bank.setdefault(request.address.bank_key, []).append(request)
-
-        best: Optional[Tuple[int, int, Command, MemoryRequest]] = None
-        for bank_key, requests in by_bank.items():
-            candidate = self._bank_candidate(bank_key, requests, cycle)
-            if candidate is None:
-                continue
-            issue_cycle, command, request = candidate
-            order = (issue_cycle, request.arrival_cycle)
-            if best is None or order < (best[0], best[1]):
-                best = (issue_cycle, request.arrival_cycle, command, request)
-        if best is None:
-            return None
-        return best[0], best[2], best[3]
-
-    def _bank_candidate(
-        self,
-        bank_key: Tuple[int, int, int, int],
-        requests: List[MemoryRequest],
-        cycle: int,
-    ) -> Optional[Tuple[int, Command, MemoryRequest]]:
-        channel, rank_id, bankgroup, bank_id = bank_key
-        bank = self.dram.bank(channel, rank_id, bankgroup, bank_id)
-        requests = sorted(requests, key=lambda r: (r.arrival_cycle, r.request_id))
-
-        if bank.is_closed():
-            # Oldest request wins; it needs an ACT first.
-            request = requests[0]
-            command = Command(
-                CommandKind.ACT,
-                channel=channel,
-                rank=rank_id,
-                bankgroup=bankgroup,
-                bank=bank_id,
-                row=request.address.row,
-            )
-            issue_cycle = self.dram.earliest_issue_cycle(command, cycle)
-            issue_cycle = self._apply_act_throttle(request, issue_cycle)
-            return issue_cycle, command, request
-
-        open_row = bank.open_row
-        row_hits = [r for r in requests if r.address.row == open_row]
-        cap_reached = bank.open_row_column_accesses >= self.config.column_cap
-        has_conflict = any(r.address.row != open_row for r in requests)
-
-        if row_hits and not (cap_reached and has_conflict):
-            request = row_hits[0]
-            kind = CommandKind.WR if request.is_write else CommandKind.RD
-            command = Command(
-                kind,
-                channel=channel,
-                rank=rank_id,
-                bankgroup=bankgroup,
-                bank=bank_id,
-                column=request.address.column,
-            )
-            return self.dram.earliest_issue_cycle(command, cycle), command, request
-
-        # Row conflict (or column cap reached): precharge on behalf of the
-        # oldest conflicting request.
-        conflicting = [r for r in requests if r.address.row != open_row]
-        if not conflicting:
-            return None
-        request = conflicting[0]
-        command = Command(
-            CommandKind.PRE,
-            channel=channel,
-            rank=rank_id,
-            bankgroup=bankgroup,
-            bank=bank_id,
+        reads_active = bool(self.read_queue)
+        writes_active = bool(self.write_queue) and (
+            self._draining_writes or not self.read_queue
         )
-        return self.dram.earliest_issue_cycle(command, cycle), command, request
 
-    def _apply_act_throttle(self, request: MemoryRequest, issue_cycle: int) -> int:
-        """Let the mitigation delay an activation (BlockHammer-style throttling)."""
-        if self.mitigation is None:
-            return issue_cycle
-        allowed = self.mitigation.act_allowed_cycle(request.address, issue_cycle)
-        return max(issue_cycle, allowed)
+        best_order: Optional[tuple] = None
+        best_command: Optional[Command] = None
+        best_request: Optional[MemoryRequest] = None
+
+        if reads_active or writes_active:
+            bank_reads = self._bank_reads if reads_active else _NO_PENDING
+            bank_writes = self._bank_writes if writes_active else _NO_PENDING
+            bank_keys: List[Tuple[int, int, int, int]] = list(bank_reads)
+            if bank_writes:
+                bank_keys.extend(
+                    key for key in bank_writes if key not in bank_reads
+                )
+            dram_bank = self.dram.bank
+            bank_candidate = self.scheduler.bank_candidate
+            for bank_key in bank_keys:
+                reads = bank_reads.get(bank_key)
+                writes = bank_writes.get(bank_key)
+                # The scan key reproduces the old full-queue scan's bank
+                # order deterministically: reads before writes, then the
+                # bank's earliest-enqueued pending request (a bank with
+                # reads always keys on them — reads were scanned first).
+                if writes is None:
+                    pending = reads.requests
+                    scan_key = (0, reads.min_seq)
+                elif reads is None:
+                    pending = writes.requests
+                    scan_key = (1, writes.min_seq)
+                else:
+                    pending = self._merged_cache.get(bank_key)
+                    if pending is None:
+                        pending = _merge_pending(reads.requests, writes.requests)
+                        self._merged_cache[bank_key] = pending
+                    scan_key = (0, reads.min_seq)
+                candidate = bank_candidate(
+                    self, dram_bank(*bank_key), pending, cycle
+                )
+                if candidate is None:
+                    continue
+                issue_cycle, priority, command, request = candidate
+                order = (issue_cycle, *priority, scan_key)
+                if best_order is None or order < best_order:
+                    best_order = order
+                    best_command = command
+                    best_request = request
+
+        for bank_key, opened_cycle, not_before in self.row_policy.close_candidates(
+            self, cycle
+        ):
+            bank = self.dram.bank(*bank_key)
+            if bank.is_closed():
+                continue
+            command = Command(
+                CommandKind.PRE,
+                channel=bank_key[0],
+                rank=bank_key[1],
+                bankgroup=bank_key[2],
+                bank=bank_key[3],
+                metadata={"policy_close": True},
+            )
+            issue_cycle = self.dram.earliest_issue_cycle(
+                command, max(cycle, not_before)
+            )
+            order = (
+                issue_cycle,
+                *self.scheduler.close_priority(opened_cycle),
+                (2, *bank_key),
+            )
+            if best_order is None or order < best_order:
+                best_order = order
+                best_command = command
+                best_request = None
+
+        if best_order is None:
+            return None
+        return best_order[0], best_command, best_request
 
     def _update_drain_mode(self) -> None:
         if self._draining_writes:
@@ -550,12 +704,21 @@ class MemoryController:
                 self.next_refresh_due[rank_key] += self.dram_config.tREFI
             return
 
-        if command.kind is CommandKind.ACT and request is not None:
-            if request.request_type is RequestType.PREVENTIVE_REFRESH:
-                request.__dict__["_refresh_activated"] = True
+        bank_key = (command.channel, command.rank, command.bankgroup, command.bank)
+
+        if command.kind is CommandKind.ACT:
+            self.row_policy.on_act(bank_key, cycle)
+            if request is not None:
+                if request.request_type is RequestType.PREVENTIVE_REFRESH:
+                    request.__dict__["_refresh_activated"] = True
+                else:
+                    # A demand request whose row had to be opened: a miss.
+                    self.stats.row_misses += 1
+            self.scheduler.on_issue(command, request, cycle)
             return
 
         if command.kind is CommandKind.PRE:
+            self.row_policy.on_pre(bank_key)
             if (
                 request is not None
                 and request.request_type is RequestType.PREVENTIVE_REFRESH
@@ -565,6 +728,16 @@ class MemoryController:
                 request.complete(cycle)
                 self.dram.stats.preventive_refresh_pairs += 1
                 self._notify_slot_free()
+            elif (
+                request is not None
+                and request.request_type is not RequestType.PREVENTIVE_REFRESH
+            ):
+                # A demand PRE: an open row lost to a conflicting request.
+                self.stats.row_conflicts += 1
+            elif command.metadata.get("policy_close"):
+                # The row policy closing an idle row (no request behind it).
+                self.stats.policy_precharges += 1
+            self.scheduler.on_issue(command, request, cycle)
             return
 
         if command.kind in (CommandKind.RD, CommandKind.WR) and request is not None:
@@ -572,21 +745,14 @@ class MemoryController:
             completion = result if result is not None else cycle
             queue = self.write_queue if request.is_write else self.read_queue
             queue.remove(request)
+            self._unindex_request(request)
             request.complete(completion)
             if request.is_read and not request.is_mitigation_traffic:
                 self.stats.record_read_completion(request)
-            self._classify_row_buffer_outcome(request)
-            self._notify_slot_free()
-
-    def _classify_row_buffer_outcome(self, request: MemoryRequest) -> None:
-        # A request that was served with a single column command (no ACT on
-        # its behalf) is a row hit; this approximation counts hits by whether
-        # its issue happened while the row was already open long enough.
-        bank = self.dram.bank_for(request.address)
-        if bank.open_row_column_accesses > 1:
+            # Served straight from the open row: a row-buffer hit.
             self.stats.row_hits += 1
-        else:
-            self.stats.row_misses += 1
+            self.scheduler.on_issue(command, request, cycle)
+            self._notify_slot_free()
 
     def _notify_slot_free(self) -> None:
         for callback in self._slot_free_callbacks:

@@ -28,6 +28,7 @@ from repro.controller.controller import (
     ControllerStatistics,
     MemoryController,
 )
+from repro.controller.policies import ControllerPolicySpec
 from repro.controller.request import MemoryRequest
 from repro.dram.config import DRAMConfig
 from repro.dram.dram_system import DRAMStatistics
@@ -45,6 +46,10 @@ class ChannelFabric:
         fabric width.
     config:
         Controller scheduling knobs, shared by every channel.
+    policy:
+        Optional :class:`~repro.controller.policies.ControllerPolicySpec`
+        shared by every channel; each controller builds its *own* policy
+        instances from it (schedulers and row policies are stateful).
     mitigations:
         ``None`` for the unprotected baseline, a single
         :class:`RowHammerMitigation` for a 1-channel fabric, or one instance
@@ -60,6 +65,7 @@ class ChannelFabric:
         mitigations: Union[
             None, RowHammerMitigation, Sequence[RowHammerMitigation]
         ] = None,
+        policy: Optional[ControllerPolicySpec] = None,
     ) -> None:
         num_channels = dram_config.organization.channels
         per_channel = self._normalize_mitigations(mitigations, num_channels)
@@ -69,6 +75,7 @@ class ChannelFabric:
                 config,
                 mitigation=per_channel[channel],
                 channel=channel,
+                policy=policy,
             )
             for channel in range(num_channels)
         ]

@@ -1,0 +1,721 @@
+"""Pluggable memory-controller policies.
+
+The memory controller of Table 2 is one point in a three-axis policy space,
+and this module makes each axis a first-class, registered, spec-serializable
+component:
+
+* :class:`SchedulingPolicy` — which pending request a bank serves next.
+  ``fr_fcfs`` (row hits first under a column cap; the paper's controller),
+  ``fcfs`` (strict arrival order, no hit-first reordering) and ``bliss``
+  (a BLISS-style starvation-aware scheduler that blacklists cores streaming
+  consecutive requests, after Subramanian et al.).
+* :class:`RowPolicy` — what happens to a row after its column accesses.
+  ``open_page`` (rows stay open until a conflict or refresh needs the bank;
+  the paper's policy), ``closed_page`` (close a bank as soon as it has no
+  queued work) and ``adaptive_timeout`` (close an idle row after a fixed
+  residency timeout — which also bounds RowPress-style long-open-row
+  disturbance).
+* :class:`RefreshPolicy` — how periodic refresh is organized. ``all_bank``
+  (one rank-level REF every tREFI; the paper's mode) and
+  ``fine_granularity`` (DDR4 FGR: REF 2x/4x as often, each refreshing a
+  fraction of the rows and blocking the rank for the shorter tRFC2/tRFC4).
+  True same-bank REFpb is deliberately not modelled: the mitigation observer
+  protocol (:meth:`repro.mitigations.base.RowHammerMitigation.on_refresh`)
+  is rank-scoped, and FGR reproduces the scheduling-relevant property —
+  shorter, more frequent refresh blackouts — without changing it.
+
+A :class:`ControllerPolicySpec` names one policy per axis (plus policy
+parameters) and travels with :class:`~repro.experiment.spec.PlatformSpec`
+through the experiment codec, the sweep grids, the security-audit campaigns
+and the CLI.  The default triple ``(fr_fcfs, open_page, all_bank)`` is
+bit-identical to the pre-policy monolithic controller (pinned by the golden
+traces under ``tests/golden/``).
+
+This module also defines :data:`NEVER`, the typed integer "no event"
+sentinel that replaced the ``float("inf")`` value previously mixed into
+integer cycle arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.config import DRAMConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.controller.controller import MemoryController
+    from repro.controller.request import MemoryRequest
+    from repro.dram.bank import Bank
+
+#: "No event" cycle sentinel.  An ``int`` (not ``float("inf")``) so that
+#: comparing or ``max``-ing it against cycle counters can never silently
+#: promote integer cycle arithmetic to floats; any real cycle is far below
+#: it.  Test for it with ``cycle >= NEVER``.
+NEVER: int = 2**63
+
+#: A scheduling decision for one bank: ``(issue_cycle, priority, command,
+#: request)``.  ``priority`` is a scheduler-defined tuple compared after the
+#: issue cycle (and before the controller's deterministic scan tie-break);
+#: every candidate of one scheduler instance must use the same tuple shape.
+BankCandidate = Tuple[int, tuple, Command, "MemoryRequest"]
+
+
+# --------------------------------------------------------------------------- #
+# Registries
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One registered controller policy and its catalog metadata."""
+
+    name: str
+    kind: str  # "scheduler" | "row_policy" | "refresh_policy"
+    cls: type = field(repr=False)
+    description: str = ""
+
+    @property
+    def params(self) -> Tuple[str, ...]:
+        """Names of the policy parameters this policy accepts."""
+        return tuple(getattr(self.cls, "PARAMS", ()))
+
+    def build(self, params: Mapping[str, Any]):
+        """Construct one instance from the subset of ``params`` it accepts."""
+        accepted = {k: v for k, v in params.items() if k in self.params}
+        return self.cls(**accepted)
+
+
+_SCHEDULERS: Dict[str, PolicyEntry] = {}
+_ROW_POLICIES: Dict[str, PolicyEntry] = {}
+_REFRESH_POLICIES: Dict[str, PolicyEntry] = {}
+
+_REGISTRIES: Dict[str, Dict[str, PolicyEntry]] = {
+    "scheduler": _SCHEDULERS,
+    "row_policy": _ROW_POLICIES,
+    "refresh_policy": _REFRESH_POLICIES,
+}
+
+
+class UnknownPolicyError(ValueError):
+    """A policy name that is not in its axis' registry."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(
+            f"unknown {kind} {name!r}; known: {sorted(_REGISTRIES[kind])}"
+        )
+        self.kind = kind
+        self.name = name
+
+
+def _register(kind: str, name: str, description: str):
+    def decorator(cls: type) -> type:
+        _REGISTRIES[kind][name] = PolicyEntry(
+            name=name, kind=kind, cls=cls, description=description
+        )
+        cls.name = name
+        return cls
+
+    return decorator
+
+
+def register_scheduler(name: str, description: str = ""):
+    """Class decorator registering a :class:`SchedulingPolicy`."""
+    return _register("scheduler", name, description)
+
+
+def register_row_policy(name: str, description: str = ""):
+    """Class decorator registering a :class:`RowPolicy`."""
+    return _register("row_policy", name, description)
+
+
+def register_refresh_policy(name: str, description: str = ""):
+    """Class decorator registering a :class:`RefreshPolicy`."""
+    return _register("refresh_policy", name, description)
+
+
+def policy_entry(kind: str, name: str) -> PolicyEntry:
+    entry = _REGISTRIES[kind].get(name)
+    if entry is None:
+        raise UnknownPolicyError(kind, name)
+    return entry
+
+
+def scheduler_names() -> List[str]:
+    return sorted(_SCHEDULERS)
+
+
+def row_policy_names() -> List[str]:
+    return sorted(_ROW_POLICIES)
+
+
+def refresh_policy_names() -> List[str]:
+    return sorted(_REFRESH_POLICIES)
+
+
+def policy_catalog() -> List[PolicyEntry]:
+    """Every registered policy across the three axes (for ``repro list``)."""
+    entries: List[PolicyEntry] = []
+    for registry in _REGISTRIES.values():
+        entries.extend(registry[name] for name in sorted(registry))
+    return entries
+
+
+# --------------------------------------------------------------------------- #
+# Protocol base classes
+# --------------------------------------------------------------------------- #
+class SchedulingPolicy:
+    """Decides which pending request a bank serves next.
+
+    The controller keeps an incremental per-bank index of pending requests
+    (sorted by arrival) and asks the policy for one candidate per bank; the
+    bank candidates then compete on ``(issue_cycle, *priority, scan_key)``
+    where ``scan_key`` is the controller's deterministic tie-break.  Policies
+    may keep internal state (BLISS' blacklist) — every controller owns its
+    own policy instances.
+    """
+
+    name = "base"
+    #: Policy parameters accepted by the constructor (spec ``params`` keys).
+    PARAMS: Tuple[str, ...] = ()
+
+    def bank_candidate(
+        self,
+        controller: "MemoryController",
+        bank: "Bank",
+        pending: Sequence["MemoryRequest"],
+        cycle: int,
+    ) -> Optional[BankCandidate]:
+        """Best command for one bank.
+
+        ``pending`` is the bank's non-empty pending-request list in
+        (arrival, request-id) order — the controller's live per-bank index,
+        so policies must not mutate it.
+        """
+        raise NotImplementedError
+
+    def close_priority(self, opened_cycle: int) -> tuple:
+        """Priority tuple for a row-policy close (PRE) candidate.
+
+        Must have the same shape as the tuples :meth:`bank_candidate`
+        returns so close candidates compare against demand candidates.
+        """
+        return (opened_cycle,)
+
+    def on_issue(
+        self, command: Command, request: Optional["MemoryRequest"], cycle: int
+    ) -> None:
+        """Observe every issued command (BLISS tracks served streaks here)."""
+
+    def priority_boundary_crossed(self, start: int, end: int) -> bool:
+        """True when the policy's priorities change inside ``(start, end]``.
+
+        The event kernel caches one decision per controller and replays it
+        at its issue cycle; a time-varying scheduler (BLISS' clearing
+        interval) must report its boundaries here so a decision spanning
+        one is recomputed instead of issuing with stale priorities.
+        """
+        return False
+
+
+class RowPolicy:
+    """Decides whether an open row stays open once its bank has no work.
+
+    The controller reports row transitions through :meth:`on_act` /
+    :meth:`on_pre` and asks for :meth:`close_candidates` during command
+    selection; a close candidate is a speculative PRE that competes with
+    demand candidates on issue cycle.  The default (open-page) keeps every
+    row open and emits nothing, which is what makes it zero-cost.
+    """
+
+    name = "base"
+    PARAMS: Tuple[str, ...] = ()
+
+    def on_act(self, bank_key: Tuple[int, int, int, int], cycle: int) -> None:
+        """A row was opened in ``bank_key`` at ``cycle``."""
+
+    def on_pre(self, bank_key: Tuple[int, int, int, int]) -> None:
+        """``bank_key``'s open row was closed."""
+
+    def close_candidates(
+        self, controller: "MemoryController", cycle: int
+    ) -> Iterable[Tuple[Tuple[int, int, int, int], int, int]]:
+        """Banks the policy wants precharged: ``(bank_key, opened, not_before)``.
+
+        ``opened`` is the cycle the row was opened (the candidate's age for
+        tie-breaking); ``not_before`` is the earliest cycle the close may
+        issue (``adaptive_timeout`` dates it at ``opened + timeout``).
+        """
+        return ()
+
+
+class RefreshPolicy:
+    """Shapes the periodic-refresh schedule.
+
+    The policy rewrites the DRAM configuration before the device model is
+    built (the same hook mitigations such as REGA use); the controller's
+    refresh machinery — per-rank due times staggered across ranks, owed
+    extra refreshes, PRE-before-REF — then operates on the adjusted
+    ``tREFI``/``tRFC``/``rows_per_refresh`` without further policy calls.
+    """
+
+    name = "base"
+    PARAMS: Tuple[str, ...] = ()
+
+    def adjust_dram_config(self, config: DRAMConfig) -> DRAMConfig:
+        return config
+
+
+# --------------------------------------------------------------------------- #
+# Command construction helpers
+# --------------------------------------------------------------------------- #
+def _act_command(request: "MemoryRequest") -> Command:
+    address = request.address
+    return Command(
+        CommandKind.ACT,
+        channel=address.channel,
+        rank=address.rank,
+        bankgroup=address.bankgroup,
+        bank=address.bank,
+        row=address.row,
+    )
+
+
+def _pre_command(request: "MemoryRequest") -> Command:
+    address = request.address
+    return Command(
+        CommandKind.PRE,
+        channel=address.channel,
+        rank=address.rank,
+        bankgroup=address.bankgroup,
+        bank=address.bank,
+    )
+
+
+def _column_command(request: "MemoryRequest") -> Command:
+    address = request.address
+    return Command(
+        CommandKind.WR if request.is_write else CommandKind.RD,
+        channel=address.channel,
+        rank=address.rank,
+        bankgroup=address.bankgroup,
+        bank=address.bank,
+        column=address.column,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Scheduling policies
+# --------------------------------------------------------------------------- #
+@register_scheduler(
+    "fr_fcfs",
+    "row hits first, oldest first, with a column cap so hit streams cannot "
+    "starve row misses (the paper's Table 2 scheduler)",
+)
+class FRFCFSScheduler(SchedulingPolicy):
+    """FR-FCFS with the column-cap starvation guard (the default)."""
+
+    def bank_candidate(self, controller, bank, pending, cycle):
+        if bank.is_closed():
+            # Oldest request wins; it needs an ACT first.
+            request = pending[0]
+            command = _act_command(request)
+            issue_cycle = controller.demand_act_cycle(request, command, cycle)
+            return issue_cycle, (request.arrival_cycle,), command, request
+
+        open_row = bank.open_row
+        cap_reached = bank.open_row_column_accesses >= controller.config.column_cap
+        first_hit: Optional["MemoryRequest"] = None
+        first_conflict: Optional["MemoryRequest"] = None
+        for request in pending:
+            if request.address.row == open_row:
+                if first_hit is None:
+                    first_hit = request
+                    # Conflict existence only matters once the cap is
+                    # reached; stop scanning the moment the answer is known.
+                    if not cap_reached or first_conflict is not None:
+                        break
+            elif first_conflict is None:
+                first_conflict = request
+                if first_hit is not None:
+                    break
+        if first_hit is not None and not (cap_reached and first_conflict is not None):
+            command = _column_command(first_hit)
+            issue_cycle = controller.dram.earliest_issue_cycle(command, cycle)
+            return issue_cycle, (first_hit.arrival_cycle,), command, first_hit
+        if first_conflict is None:
+            return None
+        # Row conflict (or column cap reached): precharge on behalf of the
+        # oldest conflicting request.
+        command = _pre_command(first_conflict)
+        issue_cycle = controller.dram.earliest_issue_cycle(command, cycle)
+        return issue_cycle, (first_conflict.arrival_cycle,), command, first_conflict
+
+
+@register_scheduler(
+    "fcfs",
+    "strict arrival order per bank: no hit-first reordering, so row hits "
+    "bring no scheduling advantage",
+)
+class FCFSScheduler(SchedulingPolicy):
+    """First-come first-served: the oldest request per bank always wins."""
+
+    def bank_candidate(self, controller, bank, pending, cycle):
+        request = pending[0]
+        priority = (request.arrival_cycle,)
+        if bank.is_closed():
+            command = _act_command(request)
+            issue_cycle = controller.demand_act_cycle(request, command, cycle)
+        elif request.address.row == bank.open_row:
+            command = _column_command(request)
+            issue_cycle = controller.dram.earliest_issue_cycle(command, cycle)
+        else:
+            command = _pre_command(request)
+            issue_cycle = controller.dram.earliest_issue_cycle(command, cycle)
+        return issue_cycle, priority, command, request
+
+
+@register_scheduler(
+    "bliss",
+    "BLISS-style starvation-aware scheduling: cores served many consecutive "
+    "requests are blacklisted for an interval and deprioritized",
+)
+class BLISSScheduler(SchedulingPolicy):
+    """Blacklisting scheduler (after BLISS, Subramanian et al.).
+
+    A core that gets ``blacklist_streak`` consecutive column commands served
+    is blacklisted until the next clearing interval; requests from
+    blacklisted cores lose to everyone else, then row hits and age break
+    ties as in FR-FCFS.  This bounds how long one streaming core (or a
+    row-hammering attacker) can monopolize a bank.
+    """
+
+    PARAMS = ("bliss_blacklist_streak", "bliss_clearing_interval")
+
+    def __init__(
+        self,
+        bliss_blacklist_streak: int = 4,
+        bliss_clearing_interval: int = 10_000,
+    ) -> None:
+        if bliss_blacklist_streak < 1:
+            raise ValueError("bliss_blacklist_streak must be >= 1")
+        if bliss_clearing_interval < 1:
+            raise ValueError("bliss_clearing_interval must be >= 1")
+        self.blacklist_streak = bliss_blacklist_streak
+        self.clearing_interval = bliss_clearing_interval
+        self.blacklist: set = set()
+        self._streak_core: Optional[int] = None
+        self._streak = 0
+        self._next_clear = bliss_clearing_interval
+
+    def _maybe_clear(self, cycle: int) -> None:
+        while cycle >= self._next_clear:
+            self.blacklist.clear()
+            self._streak_core = None
+            self._streak = 0
+            self._next_clear += self.clearing_interval
+
+    def priority_boundary_crossed(self, start: int, end: int) -> bool:
+        # A clearing deadline inside the interval empties the blacklist, so
+        # a decision made at ``start`` may rank requests wrongly at ``end``.
+        return start < self._next_clear <= end
+
+    def _blacklisted(self, request: "MemoryRequest") -> int:
+        return 1 if request.core_id in self.blacklist else 0
+
+    def close_priority(self, opened_cycle: int) -> tuple:
+        return (0, opened_cycle)
+
+    def bank_candidate(self, controller, bank, pending, cycle):
+        self._maybe_clear(cycle)
+        requests = pending
+        if bank.is_closed():
+            request = min(
+                requests,
+                key=lambda r: (self._blacklisted(r), r.arrival_cycle, r.request_id),
+            )
+            command = _act_command(request)
+            issue_cycle = controller.demand_act_cycle(request, command, cycle)
+            return (
+                issue_cycle,
+                (self._blacklisted(request), request.arrival_cycle),
+                command,
+                request,
+            )
+        open_row = bank.open_row
+        hits = [r for r in requests if r.address.row == open_row]
+        conflicts = [r for r in requests if r.address.row != open_row]
+        cap_reached = bank.open_row_column_accesses >= controller.config.column_cap
+        if hits and not (cap_reached and conflicts):
+            request = min(
+                hits,
+                key=lambda r: (self._blacklisted(r), r.arrival_cycle, r.request_id),
+            )
+            command = _column_command(request)
+        else:
+            request = min(
+                conflicts,
+                key=lambda r: (self._blacklisted(r), r.arrival_cycle, r.request_id),
+            )
+            command = _pre_command(request)
+        issue_cycle = controller.dram.earliest_issue_cycle(command, cycle)
+        return (
+            issue_cycle,
+            (self._blacklisted(request), request.arrival_cycle),
+            command,
+            request,
+        )
+
+    def on_issue(self, command, request, cycle):
+        if command.kind not in (CommandKind.RD, CommandKind.WR) or request is None:
+            return
+        self._maybe_clear(cycle)
+        core = request.core_id
+        if core is None:
+            # Mitigation traffic carries no core; it breaks any streak.
+            self._streak_core = None
+            self._streak = 0
+            return
+        if core == self._streak_core:
+            self._streak += 1
+        else:
+            self._streak_core = core
+            self._streak = 1
+        if self._streak >= self.blacklist_streak:
+            self.blacklist.add(core)
+
+
+# --------------------------------------------------------------------------- #
+# Row policies
+# --------------------------------------------------------------------------- #
+@register_row_policy(
+    "open_page",
+    "rows stay open until a conflicting request or a refresh needs the bank "
+    "(the paper's policy)",
+)
+class OpenPagePolicy(RowPolicy):
+    """Open-page: never close a row speculatively (the default)."""
+
+
+class _RowTrackingPolicy(RowPolicy):
+    """Shared open-row bookkeeping for the closing policies."""
+
+    def __init__(self) -> None:
+        self._open: Dict[Tuple[int, int, int, int], int] = {}
+
+    def on_act(self, bank_key, cycle):
+        self._open[bank_key] = cycle
+
+    def on_pre(self, bank_key):
+        self._open.pop(bank_key, None)
+
+
+@register_row_policy(
+    "closed_page",
+    "precharge a bank as soon as it has no queued requests, trading row-hit "
+    "locality for faster conflict service",
+)
+class ClosedPagePolicy(_RowTrackingPolicy):
+    """Closed-page: close any open bank with no pending work."""
+
+    def close_candidates(self, controller, cycle):
+        for bank_key, opened in self._open.items():
+            if controller.has_pending_for_bank(bank_key):
+                continue
+            yield bank_key, opened, cycle
+
+
+@register_row_policy(
+    "adaptive_timeout",
+    "close a row once it has been open for a fixed residency timeout with no "
+    "queued work (bounds RowPress-style long-open-row disturbance)",
+)
+class AdaptiveTimeoutPolicy(_RowTrackingPolicy):
+    """Timeout-based adaptive policy: idle rows close after ``row_timeout``."""
+
+    PARAMS = ("row_timeout",)
+
+    def __init__(self, row_timeout: int = 600) -> None:
+        super().__init__()
+        if row_timeout < 0:
+            raise ValueError("row_timeout must be >= 0")
+        self.row_timeout = row_timeout
+
+    def close_candidates(self, controller, cycle):
+        for bank_key, opened in self._open.items():
+            if controller.has_pending_for_bank(bank_key):
+                continue
+            yield bank_key, opened, opened + self.row_timeout
+
+
+# --------------------------------------------------------------------------- #
+# Refresh policies
+# --------------------------------------------------------------------------- #
+@register_refresh_policy(
+    "all_bank",
+    "one rank-level REF every tREFI, refreshing rows_per_refresh rows of "
+    "every bank (the paper's mode)",
+)
+class AllBankRefreshPolicy(RefreshPolicy):
+    """Standard all-bank periodic refresh (the default)."""
+
+
+@register_refresh_policy(
+    "fine_granularity",
+    "DDR4 fine-granularity refresh: REF 2x/4x as often, each covering a "
+    "fraction of the rows and blocking the rank for the shorter tRFC2/tRFC4",
+)
+class FineGranularityRefreshPolicy(RefreshPolicy):
+    """DDR4 FGR 2x/4x mode, the per-bank-refresh stand-in.
+
+    Doubling (quadrupling) the REF rate halves (quarters) the rows covered
+    per command — ``rows_per_refresh`` is derived from ``tREFW // tREFI`` —
+    while tRFC shrinks by the JEDEC DDR4 ratio (tRFC2 = 260 ns and
+    tRFC4 = 160 ns against tRFC1 = 350 ns), so demand traffic sees shorter,
+    more frequent refresh blackouts.  Every row is still refreshed once per
+    tREFW and REF stays rank-level, so mitigation counter-reset semantics
+    are unchanged.
+    """
+
+    PARAMS = ("refresh_granularity",)
+
+    #: JEDEC DDR4 tRFC2/tRFC1 and tRFC4/tRFC1 ratios (260/350, 160/350 ns).
+    _TRFC_RATIO = {2: 260.0 / 350.0, 4: 160.0 / 350.0}
+
+    def __init__(self, refresh_granularity: int = 2) -> None:
+        if refresh_granularity not in self._TRFC_RATIO:
+            raise ValueError(
+                f"refresh_granularity must be one of "
+                f"{sorted(self._TRFC_RATIO)}, got {refresh_granularity}"
+            )
+        self.granularity = refresh_granularity
+
+    def adjust_dram_config(self, config: DRAMConfig) -> DRAMConfig:
+        timing = config.timing
+        ratio = self._TRFC_RATIO[self.granularity]
+        return replace(
+            config,
+            timing=replace(
+                timing,
+                tREFI=max(1, timing.tREFI // self.granularity),
+                tRFC=max(1, int(round(timing.tRFC * ratio))),
+            ),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The serializable policy spec
+# --------------------------------------------------------------------------- #
+_Pairs = Tuple[Tuple[str, Any], ...]
+
+
+def _as_pairs(value: Union[None, Mapping[str, Any], Sequence]) -> _Pairs:
+    if value is None:
+        return ()
+    items = value.items() if isinstance(value, Mapping) else list(value)
+    return tuple(sorted((str(key), val) for key, val in items))
+
+
+@dataclass(frozen=True)
+class ControllerPolicySpec:
+    """One point in the controller policy space: a name per axis + params.
+
+    Frozen, hashable and codec-serializable (it rides inside
+    :class:`~repro.experiment.spec.PlatformSpec`).  ``params`` holds policy
+    parameters (e.g. ``row_timeout`` for ``adaptive_timeout`` or
+    ``bliss_blacklist_streak``); each key must be accepted by one of the
+    three selected policies, validated at construction time.
+    """
+
+    scheduler: str = "fr_fcfs"
+    row_policy: str = "open_page"
+    refresh_policy: str = "all_bank"
+    #: Policy parameters as sorted ``(key, value)`` pairs (pass a dict).
+    params: _Pairs = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _as_pairs(self.params))
+        entries = self._entries()
+        accepted = {name for entry in entries for name in entry.params}
+        unknown = [key for key, _ in self.params if key not in accepted]
+        if unknown:
+            raise ValueError(
+                f"unknown policy params {unknown}; the selected policies "
+                f"accept {sorted(accepted) or 'no parameters'}"
+            )
+
+    def _entries(self) -> Tuple[PolicyEntry, PolicyEntry, PolicyEntry]:
+        return (
+            policy_entry("scheduler", self.scheduler),
+            policy_entry("row_policy", self.row_policy),
+            policy_entry("refresh_policy", self.refresh_policy),
+        )
+
+    @property
+    def is_default(self) -> bool:
+        """True for the paper's triple with no parameter overrides."""
+        return self == ControllerPolicySpec()
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def label(self) -> str:
+        """Compact display label, e.g. ``fr_fcfs/open_page/all_bank``."""
+        base = f"{self.scheduler}/{self.row_policy}/{self.refresh_policy}"
+        if self.params:
+            base += "[" + ",".join(f"{k}={v}" for k, v in self.params) + "]"
+        return base
+
+    def build(self) -> Tuple[SchedulingPolicy, RowPolicy, RefreshPolicy]:
+        """Fresh policy instances (stateful — one set per controller)."""
+        scheduler_e, row_e, refresh_e = self._entries()
+        params = self.params_dict()
+        return (
+            scheduler_e.build(params),
+            row_e.build(params),
+            refresh_e.build(params),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheduler": self.scheduler,
+            "row_policy": self.row_policy,
+            "refresh_policy": self.refresh_policy,
+            "params": self.params_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ControllerPolicySpec":
+        return cls(
+            scheduler=data.get("scheduler", "fr_fcfs"),
+            row_policy=data.get("row_policy", "open_page"),
+            refresh_policy=data.get("refresh_policy", "all_bank"),
+            params=data.get("params", ()),
+        )
+
+
+def normalize_policy(
+    policy: Optional[ControllerPolicySpec],
+) -> Optional[ControllerPolicySpec]:
+    """Map the default triple to ``None`` so spec hashes stay stable.
+
+    A platform carrying an explicit default policy describes the same
+    experiment as one carrying no policy at all; normalizing keeps their
+    canonical JSON — and therefore their sweep-cache keys — identical.
+    """
+    if policy is not None and policy.is_default:
+        return None
+    return policy
+
+
+DEFAULT_POLICY = ControllerPolicySpec()

@@ -18,17 +18,15 @@ that clock domain.  IPC is reported in CPU cycles.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 from repro.controller.controller import MemoryController
+from repro.controller.policies import NEVER
 from repro.controller.request import MemoryRequest, RequestType
 from repro.cpu.cache import LastLevelCache
 from repro.cpu.trace import Trace
 from repro.dram.address import AddressMapper
-
-_INFINITY = math.inf
 
 
 @dataclass(frozen=True)
@@ -106,14 +104,19 @@ class Core:
             and self._blocked_on_queue is None
         )
 
-    def next_event_cycle(self) -> float:
-        """Cycle at which the core next wants to act; inf when waiting on memory."""
+    def next_event_cycle(self) -> Union[int, float]:
+        """Cycle at which the core next wants to act.
+
+        Returns :data:`~repro.controller.policies.NEVER` (the typed integer
+        sentinel, not ``float("inf")``) while the core waits on memory, so
+        callers comparing against cycle counters stay in integer arithmetic.
+        """
         if self.finished:
-            return _INFINITY
+            return NEVER
         if self._blocked_on_queue is not None:
-            return _INFINITY
+            return NEVER
         if self._trace_exhausted:
-            return _INFINITY
+            return NEVER
         return self._dispatch_cycle_for_next_entry()
 
     def step(self, cycle: float) -> None:
@@ -136,7 +139,7 @@ class Core:
     # ------------------------------------------------------------------ #
     # Internal mechanics
     # ------------------------------------------------------------------ #
-    def _dispatch_cycle_for_next_entry(self) -> float:
+    def _dispatch_cycle_for_next_entry(self) -> Union[int, float]:
         entry = self.trace[self._cursor]
         candidate = self._front_cycle + entry.bubble_count / self.config.issue_rate_per_mem_cycle
         outstanding = list(self._outstanding)
@@ -152,7 +155,7 @@ class Core:
             if oldest.completion_cycle is None:
                 # Blocked on a read whose completion time the controller has
                 # not determined yet; the completion callback will wake us.
-                return _INFINITY
+                return NEVER
             candidate = max(candidate, oldest.completion_cycle)
             outstanding.pop(0)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.controller.policies import ControllerPolicySpec
 from repro.cpu.core import CoreConfig
 from repro.cpu.trace import Trace
 from repro.dram.config import DRAMConfig
@@ -30,6 +31,7 @@ def run_system(
     verify_security: bool = True,
     name: Optional[str] = None,
     record_violations: bool = True,
+    policy: Optional[ControllerPolicySpec] = None,
 ) -> SimulationResult:
     """Assemble and run one system: the common tail of every entry point."""
     mitigations = MitigationSpec(
@@ -37,6 +39,7 @@ def run_system(
     ).build_instances(dram_config.organization.channels)
     system_config = SystemConfig(
         dram=dram_config,
+        policy=policy,
         core=core_config or CoreConfig(),
         verify_security=verify_security,
         nrh_for_verification=nrh,
@@ -100,6 +103,7 @@ def execute_spec(spec: ExperimentSpec) -> SimulationResult:
         verify_security=bool(verify),
         name=name,
         record_violations=verify != "streaming",
+        policy=spec.platform.controller,
     )
 
 

@@ -13,7 +13,9 @@ harnesses.  It composes three sub-specs:
   RowHammer threshold and constructor overrides (e.g. a
   :class:`~repro.core.config.CoMeTConfig` for the sensitivity sweeps).
 * :class:`PlatformSpec` — *what it runs on*: the scaled DRAM geometry,
-  channel count, refresh-window scale and core model.
+  channel count, refresh-window scale, core model and the
+  memory-controller policy triple
+  (:class:`~repro.controller.policies.ControllerPolicySpec`).
 
 Specs are frozen, hashable and JSON-round-trippable; ``canonical_json()``
 (sorted keys, compact separators) is the content-hash material used as the
@@ -29,6 +31,7 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.controller.policies import ControllerPolicySpec, normalize_policy
 from repro.cpu.core import CoreConfig
 from repro.dram.config import DRAMConfig, small_test_config
 from repro.experiment.codec import decode_value, encode_value
@@ -231,6 +234,11 @@ class PlatformSpec:
     refresh_window_scale: float = 1.0 / 256.0
     #: Memory channels; ``None`` inherits from ``dram`` (or 1 without one).
     channels: Optional[int] = None
+    #: Memory-controller policy triple (scheduler / row policy / refresh
+    #: policy); ``None`` selects the default (fr_fcfs, open_page, all_bank).
+    #: An explicit default is normalized to ``None`` so the two spellings
+    #: hash — and therefore cache — identically.
+    controller: Optional[ControllerPolicySpec] = None
     #: Full DRAM configuration override (wins over the scalar knobs).
     dram: Optional[DRAMConfig] = None
     #: Core model override (defaults to the paper's Table 2 core).
@@ -239,6 +247,7 @@ class PlatformSpec:
     def __post_init__(self) -> None:
         if self.channels is not None and self.channels < 1:
             raise ValueError("channels must be >= 1")
+        object.__setattr__(self, "controller", normalize_policy(self.controller))
 
     @property
     def channel_count(self) -> int:
@@ -275,16 +284,25 @@ class PlatformSpec:
             "rows_per_bank": self.rows_per_bank,
             "refresh_window_scale": self.refresh_window_scale,
             "channels": self.channels,
+            "controller": (
+                self.controller.to_dict() if self.controller is not None else None
+            ),
             "dram": encode_value(self.dram) if self.dram is not None else None,
             "core": encode_value(self.core) if self.core is not None else None,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PlatformSpec":
+        controller = data.get("controller")
         return cls(
             rows_per_bank=data.get("rows_per_bank", 4096),
             refresh_window_scale=data.get("refresh_window_scale", 1.0 / 256.0),
             channels=data.get("channels"),
+            controller=(
+                ControllerPolicySpec.from_dict(controller)
+                if controller is not None
+                else None
+            ),
             dram=decode_value(data["dram"]) if data.get("dram") is not None else None,
             core=decode_value(data["core"]) if data.get("core") is not None else None,
         )
@@ -378,44 +396,53 @@ def expand_grid(
     mitigation_overrides: Optional[Mapping[str, Any]] = None,
     channels: Sequence[int] = (1,),
     platform: Optional[PlatformSpec] = None,
+    policies: Sequence[Optional[ControllerPolicySpec]] = (None,),
 ) -> List[ExperimentSpec]:
-    """The Figures 6-9 pattern: workload x mitigation x NRH (x channels).
+    """The Figures 6-9 pattern: workload x mitigation x NRH (x channels
+    x controller policies).
 
     The unprotected baseline (needed by every normalized metric) is
     threshold-independent, so ``include_baseline`` adds a single ``"none"``
-    spec per workload per channel count, pinned at ``nrh=1`` so its cache key
-    is the same regardless of the swept threshold list.
+    spec per workload per channel count *per policy* (normalized IPC is only
+    meaningful against a baseline running the same controller policies),
+    pinned at ``nrh=1`` so its cache key is the same regardless of the swept
+    threshold list.  ``policies`` is the controller-policy axis; ``None``
+    entries mean the platform's own policy (the default triple when the
+    platform carries none).
     """
     base_platform = platform or PlatformSpec()
     specs: List[ExperimentSpec] = []
     for num_channels in channels:
-        plat = replace(base_platform, channels=num_channels)
-        for workload in workloads:
-            wspec = WorkloadSpec(
-                name=workload, num_requests=num_requests, num_cores=num_cores
-            )
-            if include_baseline:
-                specs.append(
-                    ExperimentSpec(
-                        workload=wspec,
-                        mitigation=MitigationSpec(name="none", nrh=1),
-                        platform=plat,
-                        verify_security=False,
-                    )
+        for policy in policies:
+            plat = replace(base_platform, channels=num_channels)
+            if policy is not None:
+                plat = replace(plat, controller=policy)
+            for workload in workloads:
+                wspec = WorkloadSpec(
+                    name=workload, num_requests=num_requests, num_cores=num_cores
                 )
-            for mitigation in mitigations:
-                if mitigation == "none":
-                    continue
-                for nrh in nrhs:
+                if include_baseline:
                     specs.append(
                         ExperimentSpec(
                             workload=wspec,
-                            mitigation=MitigationSpec(
-                                name=mitigation,
-                                nrh=nrh,
-                                overrides=mitigation_overrides or (),
-                            ),
+                            mitigation=MitigationSpec(name="none", nrh=1),
                             platform=plat,
+                            verify_security=False,
                         )
                     )
+                for mitigation in mitigations:
+                    if mitigation == "none":
+                        continue
+                    for nrh in nrhs:
+                        specs.append(
+                            ExperimentSpec(
+                                workload=wspec,
+                                mitigation=MitigationSpec(
+                                    name=mitigation,
+                                    nrh=nrh,
+                                    overrides=mitigation_overrides or (),
+                                ),
+                                platform=plat,
+                            )
+                        )
     return specs

@@ -1,6 +1,7 @@
 """Spec-driven security-audit campaigns.
 
-An audit fans a mitigation x pattern x NRH grid through the cached,
+An audit fans a mitigation x pattern x NRH (x controller-policy) grid
+through the cached,
 parallel :class:`~repro.sim.sweep.SweepRunner` (via a
 :class:`~repro.experiment.session.Session`) with the
 :class:`~repro.analysis.security.SecurityVerifier` attached in its cheap
@@ -24,7 +25,7 @@ command line.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from repro.analysis.reporting import format_table
@@ -32,6 +33,11 @@ from repro.experiment.registry import (
     mitigation_names,
     registered_workload_names,
     workload_entry,
+)
+from repro.controller.policies import (
+    ControllerPolicySpec,
+    DEFAULT_POLICY,
+    normalize_policy,
 )
 from repro.experiment.spec import (
     ExperimentSpec,
@@ -107,12 +113,15 @@ def default_audit_mitigations() -> List[str]:
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class AuditFinding:
-    """The security verdict of one (mitigation, pattern, NRH) grid cell."""
+    """The security verdict of one (mitigation, pattern, NRH, policy) cell."""
 
     mitigation: str
     pattern: str
     nrh: int
     channels: int
+    #: Controller-policy label of the cell (``scheduler/row/refresh``); the
+    #: default triple when the campaign did not sweep the policy axis.
+    policy: str
     secure: bool
     max_disturbance: int
     #: ``max_disturbance / nrh`` — how close the pattern pushed any victim to
@@ -131,6 +140,7 @@ class AuditFinding:
             "pattern": self.pattern,
             "nrh": self.nrh,
             "channels": self.channels,
+            "policy": self.policy,
             "secure": self.secure,
             "max_disturbance": self.max_disturbance,
             "margin": round(self.margin, 4),
@@ -149,6 +159,7 @@ class AuditFinding:
             "pattern": self.pattern,
             "nrh": self.nrh,
             "channels": self.channels,
+            "policy": self.policy,
             "secure": self.secure,
             "max_disturbance": self.max_disturbance,
             "margin": self.margin,
@@ -166,6 +177,7 @@ class AuditFinding:
             pattern=data["pattern"],
             nrh=data["nrh"],
             channels=data.get("channels", 1),
+            policy=data.get("policy", DEFAULT_POLICY.label()),
             secure=data["secure"],
             max_disturbance=data["max_disturbance"],
             margin=data["margin"],
@@ -240,7 +252,9 @@ class SecurityReport:
                     worst_margin=worst.margin,
                     worst_pattern=worst.pattern,
                     worst_nrh=worst.nrh,
-                    patterns_run=len({(cell.pattern, cell.nrh) for cell in cells}),
+                    patterns_run=len(
+                        {(cell.pattern, cell.nrh, cell.policy) for cell in cells}
+                    ),
                 )
             )
         return verdicts
@@ -251,13 +265,22 @@ class SecurityReport:
                 return verdict
         raise KeyError(f"no findings for mitigation {mitigation!r}")
 
-    def finding_for(self, mitigation: str, pattern: str, nrh: int) -> AuditFinding:
+    def finding_for(
+        self,
+        mitigation: str,
+        pattern: str,
+        nrh: int,
+        policy: Optional[str] = None,
+    ) -> AuditFinding:
+        """One cell by coordinates; ``policy`` (a label) disambiguates
+        campaigns that swept the controller-policy axis (default: first
+        match, which is the only match for single-policy campaigns)."""
         for finding in self.findings:
             if (finding.mitigation, finding.pattern, finding.nrh) == (
                 mitigation,
                 pattern,
                 nrh,
-            ):
+            ) and (policy is None or finding.policy == policy):
                 return finding
         raise KeyError(f"no finding for {mitigation}/{pattern}@{nrh}")
 
@@ -272,7 +295,8 @@ class SecurityReport:
 
     def findings_table(self) -> str:
         ordered = sorted(
-            self.findings, key=lambda f: (f.mitigation, -f.margin, f.pattern, f.nrh)
+            self.findings,
+            key=lambda f: (f.mitigation, -f.margin, f.pattern, f.nrh, f.policy),
         )
         return format_table(
             [finding.as_row() for finding in ordered],
@@ -327,6 +351,7 @@ def build_audit_grid(
     seed: int = 0,
     platform: Optional[PlatformSpec] = None,
     include_baseline: bool = False,
+    policies: Optional[Sequence[Optional[ControllerPolicySpec]]] = None,
 ) -> List[ExperimentSpec]:
     """Expand an audit campaign into streaming-verified experiment specs.
 
@@ -336,10 +361,14 @@ def build_audit_grid(
     names raise up front, listing what is known).  ``include_baseline`` adds
     the unprotected ``"none"`` rows — expected to be *insecure* — as the
     sanity reference showing the patterns really do cross NRH when nothing
-    defends.
+    defends.  ``policies`` adds the controller-policy axis: every cell is
+    repeated per policy triple (``None`` entries mean the platform's own
+    policy), because a mitigation's security margin is entangled with
+    scheduler and row-policy choice (open-row residency, refresh contention).
     """
     mitigation_list = list(mitigations) if mitigations else default_audit_mitigations()
     pattern_list = list(patterns) if patterns else default_audit_patterns()
+    policy_list = list(policies) if policies else [None]
     for pattern in pattern_list:
         workload_entry(pattern)  # raises UnknownWorkloadError with known names
     if include_baseline and "none" not in mitigation_list:
@@ -350,11 +379,15 @@ def build_audit_grid(
         # An explicit channel count wins over the platform's (the grid's
         # channel-scaling convention); the default of 1 leaves a caller's
         # platform untouched.
-        from dataclasses import replace
-
         plat = replace(platform, channels=channels)
     else:
         plat = platform
+    platforms: List[PlatformSpec] = [
+        plat
+        if policy is None
+        else replace(plat, controller=normalize_policy(policy))
+        for policy in policy_list
+    ]
     specs: List[ExperimentSpec] = []
     for mitigation in mitigation_list:
         if nrhs is None:
@@ -365,17 +398,23 @@ def build_audit_grid(
             ]
         for pattern in pattern_list:
             for mspec in mitigation_specs:
-                specs.append(
-                    ExperimentSpec(
-                        workload=WorkloadSpec(
-                            name=pattern, num_requests=num_requests, seed=seed
-                        ),
-                        mitigation=mspec,
-                        platform=plat,
-                        verify_security="streaming",
-                        name=f"audit:{pattern}/{mitigation}@{mspec.nrh}",
+                for cell_platform in platforms:
+                    specs.append(
+                        ExperimentSpec(
+                            workload=WorkloadSpec(
+                                name=pattern, num_requests=num_requests, seed=seed
+                            ),
+                            mitigation=mspec,
+                            platform=cell_platform,
+                            verify_security="streaming",
+                            name=f"audit:{pattern}/{mitigation}@{mspec.nrh}"
+                            + (
+                                f"/{cell_platform.controller.label()}"
+                                if cell_platform.controller is not None
+                                else ""
+                            ),
+                        )
                     )
-                )
     return specs
 
 
@@ -386,12 +425,14 @@ def _reduce_records(
     for spec, record in zip(specs, records):
         result = record.result
         nrh = spec.mitigation.nrh
+        policy = spec.platform.controller or DEFAULT_POLICY
         findings.append(
             AuditFinding(
                 mitigation=spec.mitigation.name,
                 pattern=spec.workload.name,
                 nrh=nrh,
                 channels=spec.platform.channel_count,
+                policy=policy.label(),
                 secure=result.security_ok,
                 max_disturbance=result.max_disturbance,
                 margin=result.max_disturbance / nrh,
@@ -414,6 +455,7 @@ def run_audit(
     seed: int = 0,
     platform: Optional[PlatformSpec] = None,
     include_baseline: bool = False,
+    policies: Optional[Sequence[Optional[ControllerPolicySpec]]] = None,
     session: Optional["Session"] = None,
 ) -> SecurityReport:
     """Run one audit campaign and reduce it to a :class:`SecurityReport`.
@@ -433,6 +475,7 @@ def run_audit(
         seed=seed,
         platform=platform,
         include_baseline=include_baseline,
+        policies=policies,
     )
     if session is None:
         from repro.experiment.session import Session
@@ -453,5 +496,11 @@ def run_audit(
             "nrhs": list(nrhs) if nrhs is not None else "design",
             "mitigations": sorted({spec.mitigation.name for spec in specs}),
             "patterns": sorted({spec.workload.name for spec in specs}),
+            "policies": sorted(
+                {
+                    (spec.platform.controller or DEFAULT_POLICY).label()
+                    for spec in specs
+                }
+            ),
         },
     )

@@ -26,9 +26,9 @@ Each component is an *event source*:
   channel (no queued work, no due refresh) is skipped: its mutation counter
   (:attr:`~repro.controller.controller.MemoryController.mutations`) proves
   its queues are untouched and
-  :meth:`~repro.controller.controller.MemoryController.refresh_crosses_due`
-  proves no refresh deadline was crossed, so re-running command selection
-  would provably return "nothing to do" again.  This is what lets a wide
+  :meth:`~repro.controller.controller.MemoryController.decision_crosses_boundary`
+  proves no refresh deadline or scheduler priority boundary was crossed, so
+  re-running command selection would provably return "nothing to do" again.  This is what lets a wide
   fabric pay per-event cost only for its busy channels.
 * **Mitigations** may register their own timestamped callbacks through
   :meth:`EventKernel.schedule` (see
@@ -58,9 +58,8 @@ import heapq
 import math
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.controller.policies import NEVER
 from repro.cpu.core import Core
-
-_INFINITY = math.inf
 
 #: Heap priorities: cores beat controllers at equal timestamps (the seed
 #: loop's ``core_cycle <= controller_time`` comparison), and user callbacks
@@ -206,7 +205,10 @@ class EventKernel:
     def _schedule_core(self, index: int) -> None:
         self._core_gen[index] += 1
         cycle = self.cores[index].next_event_cycle()
-        if cycle is _INFINITY:
+        if cycle >= NEVER:
+            # The typed "no event" sentinel (an int, so cycle arithmetic is
+            # never silently promoted to float): the core is waiting on
+            # memory and will be woken by a completion or slot-free hook.
             return
         heapq.heappush(
             self._heap,
@@ -233,7 +235,7 @@ class EventKernel:
             and not self._ctl_has_entry[index]
             and self._ctl_cached_mutations[index] is not None
             and self._ctl_cached_mutations[index] == getattr(ctl, "mutations", None)
-            and not ctl.refresh_crosses_due(self._ctl_cached_cycle[index], cycle)
+            and not ctl.decision_crosses_boundary(self._ctl_cached_cycle[index], cycle)
         ):
             # Idle-channel skip: command selection previously found nothing
             # to do, the controller's queues are untouched since (mutation
@@ -252,9 +254,11 @@ class EventKernel:
             return
         issue_cycle = decision[0]
         self._ctl_decision[index] = decision
-        # A refresh deadline inside (cycle, issue_cycle] would outrank the
-        # cached decision once due; recompute at issue time in that case.
-        self._ctl_recheck[index] = ctl.refresh_crosses_due(cycle, issue_cycle)
+        # A refresh deadline (outranks any cached demand command) or a
+        # scheduler priority boundary (BLISS' clearing interval) inside
+        # (cycle, issue_cycle] can change the right choice; recompute at
+        # issue time in that case.
+        self._ctl_recheck[index] = ctl.decision_crosses_boundary(cycle, issue_cycle)
         heapq.heappush(
             self._heap,
             (float(issue_cycle), _PRIORITY_CONTROLLER, index, self._ctl_gen[index]),

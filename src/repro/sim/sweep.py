@@ -30,6 +30,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.controller.policies import ControllerPolicySpec, normalize_policy
 from repro.cpu.core import CoreConfig
 from repro.dram.config import DRAMConfig
 from repro.experiment.spec import ExperimentSpec, WorkloadSpec
@@ -45,7 +46,10 @@ from repro.sim.system import SimulationResult
 #: v4: the security-audit subsystem — :class:`SimulationResult` grew
 #: ``security_violations``/``first_violation_cycle`` (cached pickles from v3
 #: would deserialize without the new attributes).
-SWEEP_CACHE_VERSION = 4
+#: v5: the pluggable controller-policy layer — :class:`SweepPoint` grew
+#: scheduler/row-policy/refresh-policy axes and the canonical spec JSON
+#: grew ``platform.controller`` (old keys would alias new configurations).
+SWEEP_CACHE_VERSION = 5
 
 _CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 
@@ -71,11 +75,30 @@ class SweepPoint:
     #: from the sweep's shared DRAM configuration, the point runs on a copy
     #: of that configuration with the organization re-channeled.
     channels: int = 1
+    #: Controller policy axes (see :mod:`repro.controller.policies`); the
+    #: defaults reproduce the paper's Table 2 controller bit-for-bit.
+    scheduler: str = "fr_fcfs"
+    row_policy: str = "open_page"
+    refresh_policy: str = "all_bank"
+
+    def policy_spec(self) -> Optional[ControllerPolicySpec]:
+        """The point's controller policy (``None`` for the default triple)."""
+        return normalize_policy(
+            ControllerPolicySpec(
+                scheduler=self.scheduler,
+                row_policy=self.row_policy,
+                refresh_policy=self.refresh_policy,
+            )
+        )
 
     def label(self) -> str:
+        label = f"{self.workload}/{self.mitigation}@{self.nrh}"
         if self.channels != 1:
-            return f"{self.workload}/{self.mitigation}@{self.nrh}x{self.channels}ch"
-        return f"{self.workload}/{self.mitigation}@{self.nrh}"
+            label += f"x{self.channels}ch"
+        policy = self.policy_spec()
+        if policy is not None:
+            label += f"/{policy.label()}"
+        return label
 
 
 def _rechanneled(dram_config: DRAMConfig, channels: int) -> DRAMConfig:
@@ -122,6 +145,7 @@ def execute_point(
         mitigation_overrides=point.mitigation_overrides,
         verify_security=point.verify_security,
         name=name,
+        policy=point.policy_spec(),
     )
 
 
@@ -345,45 +369,64 @@ class SweepRunner:
         include_baseline: bool = True,
         mitigation_overrides: Optional[Dict[str, Any]] = None,
         channels: Sequence[int] = (1,),
+        schedulers: Sequence[str] = ("fr_fcfs",),
+        row_policies: Sequence[str] = ("open_page",),
+        refresh_policies: Sequence[str] = ("all_bank",),
     ) -> List[SweepPoint]:
-        """The Figures 6-9 pattern: workload x mitigation x NRH (x channels).
+        """The Figures 6-9 pattern: workload x mitigation x NRH (x channels
+        x controller policies).
 
         The unprotected baseline (needed by every normalized metric) is
         threshold-independent, so ``include_baseline`` adds a single
-        ``"none"`` point per workload *per channel count* rather than one
-        per threshold, pinned at ``nrh=1`` so its cache key is the same
-        regardless of the swept threshold list (the benchmark harnesses use
-        the same convention).  ``channels`` is the multi-channel scaling
-        axis; the default keeps the classic single-channel grid.
+        ``"none"`` point per workload *per channel count and policy triple*
+        rather than one per threshold, pinned at ``nrh=1`` so its cache key
+        is the same regardless of the swept threshold list (the benchmark
+        harnesses use the same convention).  ``channels`` is the
+        multi-channel scaling axis and ``schedulers``/``row_policies``/
+        ``refresh_policies`` are the controller-policy axes; the defaults
+        keep the classic single-channel, Table 2-controller grid.
         """
         points: List[SweepPoint] = []
+        policy_triples = [
+            (scheduler, row_policy, refresh_policy)
+            for scheduler in schedulers
+            for row_policy in row_policies
+            for refresh_policy in refresh_policies
+        ]
         for num_channels in channels:
-            for workload in workloads:
-                if include_baseline:
-                    points.append(
-                        SweepPoint(
-                            workload=workload,
-                            mitigation="none",
-                            nrh=1,
-                            num_requests=num_requests,
-                            num_cores=num_cores,
-                            verify_security=False,
-                            channels=num_channels,
-                        )
-                    )
-                for mitigation in mitigations:
-                    if mitigation == "none":
-                        continue
-                    for nrh in nrhs:
+            for scheduler, row_policy, refresh_policy in policy_triples:
+                for workload in workloads:
+                    if include_baseline:
                         points.append(
                             SweepPoint(
                                 workload=workload,
-                                mitigation=mitigation,
-                                nrh=nrh,
+                                mitigation="none",
+                                nrh=1,
                                 num_requests=num_requests,
                                 num_cores=num_cores,
-                                mitigation_overrides=mitigation_overrides,
+                                verify_security=False,
                                 channels=num_channels,
+                                scheduler=scheduler,
+                                row_policy=row_policy,
+                                refresh_policy=refresh_policy,
                             )
                         )
+                    for mitigation in mitigations:
+                        if mitigation == "none":
+                            continue
+                        for nrh in nrhs:
+                            points.append(
+                                SweepPoint(
+                                    workload=workload,
+                                    mitigation=mitigation,
+                                    nrh=nrh,
+                                    num_requests=num_requests,
+                                    num_cores=num_cores,
+                                    mitigation_overrides=mitigation_overrides,
+                                    channels=num_channels,
+                                    scheduler=scheduler,
+                                    row_policy=row_policy,
+                                    refresh_policy=refresh_policy,
+                                )
+                            )
         return points

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.analysis.security import SecurityVerifier
 from repro.controller.controller import ControllerConfig
 from repro.controller.fabric import ChannelFabric
+from repro.controller.policies import ControllerPolicySpec
 from repro.cpu.cache import CacheConfig, LastLevelCache
 from repro.cpu.core import Core, CoreConfig
 from repro.cpu.trace import Trace
@@ -37,6 +38,9 @@ class SystemConfig:
 
     dram: DRAMConfig = field(default_factory=DRAMConfig)
     controller: ControllerConfig = field(default_factory=ControllerConfig)
+    #: Controller policy triple (scheduler / row policy / refresh policy);
+    #: ``None`` selects the default (fr_fcfs, open_page, all_bank).
+    policy: Optional[ControllerPolicySpec] = None
     core: CoreConfig = field(default_factory=CoreConfig)
     use_llc: bool = False
     llc: Optional[CacheConfig] = None
@@ -122,7 +126,10 @@ class System:
         self.config = config or SystemConfig()
         self.name = name or traces[0].name
         self.fabric = ChannelFabric(
-            self.config.dram, self.config.controller, mitigations=mitigation
+            self.config.dram,
+            self.config.controller,
+            mitigations=mitigation,
+            policy=self.config.policy,
         )
         #: Aggregate mitigation view (None for the unprotected baseline).
         self.mitigation = self.fabric.mitigation

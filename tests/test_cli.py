@@ -22,6 +22,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--mitigation", "trr"])
 
+    def test_policy_flag_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheduler == "fr_fcfs"
+        assert args.row_policy == "open_page"
+        assert args.refresh_policy == "all_bank"
+        sweep_args = build_parser().parse_args(
+            ["sweep", "--scheduler", "fr_fcfs", "fcfs", "bliss"]
+        )
+        assert sweep_args.scheduler == ["fr_fcfs", "fcfs", "bliss"]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheduler", "round_robin"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--row-policy", "open"])
+
 
 class TestCommands:
     def test_workloads_lists_suite(self, capsys):
@@ -30,6 +46,38 @@ class TestCommands:
         assert "429.mcf" in output
         assert "519.lbm" in output
         assert "category" in output
+
+    def test_list_prints_registered_components(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        # Mitigations with construction metadata.
+        assert "registered mitigation mechanisms" in output
+        assert "blockhammer" in output and "design_nrh" in output
+        # Workloads including the synthesized adversarial patterns.
+        assert "synth_blacksmith" in output and "429.mcf" in output
+        # All three controller-policy axes.
+        for name in ("fr_fcfs", "fcfs", "bliss", "open_page", "closed_page",
+                     "adaptive_timeout", "all_bank", "fine_granularity"):
+            assert name in output
+
+    def test_sweep_policy_axis(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--workloads", "502.gcc",
+                "--mitigations", "para",
+                "--nrh", "1000",
+                "--requests", "300",
+                "--scheduler", "fr_fcfs", "fcfs",
+                "--workers", "0",
+                "--no-cache",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "policy" in output
+        assert "default" in output
+        assert "fcfs/open_page/all_bank" in output
 
     def test_area_prints_all_mechanisms(self, capsys):
         assert main(["area", "--nrh", "125"]) == 0

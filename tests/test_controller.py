@@ -123,6 +123,23 @@ class TestReadService:
         # the conflict must finish before the later hits.
         assert completions["conflict"] < completions["hit11"]
 
+    def test_column_cap_without_conflict_keeps_serving_hits(self, tiny_dram_config):
+        """The starvation guard only kicks in when someone is starving: a
+        pure hit stream past the cap must not trigger a precharge."""
+        config = ControllerConfig(column_cap=4)
+        controller = make_controller(tiny_dram_config, config=config)
+        controller.enqueue(read_request(controller, 1), 0)
+        run_until_idle(controller)
+        pres_before = controller.dram.stats.pres
+        for i in range(8):  # twice the cap, all hits, no conflicting request
+            controller.enqueue(
+                read_request(controller, 1, column=8 * (i + 1), cycle=100 + i),
+                100 + i,
+            )
+        run_until_idle(controller, start=100)
+        assert controller.dram.stats.pres == pres_before
+        assert controller.stats.completed_reads == 9
+
     def test_bank_parallelism(self, tiny_dram_config):
         """Requests to different banks overlap: total time far below serial time."""
         controller = make_controller(tiny_dram_config)
@@ -154,6 +171,40 @@ class TestWrites:
             controller.enqueue(write_request(controller, i, column=8 * i), 0)
         run_until_idle(controller)
         assert controller.dram.stats.writes == 6
+
+    def test_writes_buffered_below_high_watermark(self, tiny_dram_config):
+        """With reads pending and writes below the high watermark, every
+        selected command serves the read stream — writes stay buffered."""
+        config = ControllerConfig(write_drain_high=4, write_drain_low=2)
+        controller = make_controller(tiny_dram_config, config=config)
+        for i in range(3):
+            controller.enqueue(write_request(controller, i + 10, column=8 * i), 0)
+        controller.enqueue(read_request(controller, 1), 0)
+        cycle = 0
+        while controller.read_queue:
+            cycle = controller.issue_next(cycle)
+            assert not controller._draining_writes
+        assert len(controller.write_queue) == 3
+        assert controller.dram.stats.writes == 0
+
+    def test_write_drain_hysteresis(self, tiny_dram_config):
+        """Drain mode latches on at >= high and off only at <= low, so the
+        queue level between the watermarks does not flap the mode."""
+        config = ControllerConfig(write_drain_high=4, write_drain_low=2)
+        controller = make_controller(tiny_dram_config, config=config)
+        for i in range(4):
+            controller.enqueue(write_request(controller, i + 10, column=8 * i), 0)
+        controller.enqueue(read_request(controller, 1), 0)
+        controller.next_issue_cycle(0)
+        assert controller._draining_writes
+        cycle = 0
+        while len(controller.write_queue) > config.write_drain_low:
+            cycle = controller.issue_next(cycle)
+            # Between low and high the latched mode must hold (hysteresis).
+            if len(controller.write_queue) > config.write_drain_low:
+                assert controller._draining_writes
+        controller.next_issue_cycle(cycle)
+        assert not controller._draining_writes
 
 
 class TestRefresh:

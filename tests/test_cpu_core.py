@@ -4,6 +4,7 @@ import math
 
 
 from repro.controller.controller import ControllerConfig, MemoryController
+from repro.controller.policies import NEVER
 from repro.cpu.cache import CacheConfig, LastLevelCache
 from repro.cpu.core import Core, CoreConfig
 from repro.cpu.trace import Trace
@@ -27,8 +28,8 @@ def run_system(core, controller, max_steps=100_000):
             core.retry_blocked(now)
         core_cycle = core.next_event_cycle()
         controller_cycle = controller.next_issue_cycle(int(math.ceil(now)))
-        controller_time = float(controller_cycle) if controller_cycle is not None else math.inf
-        if core_cycle is math.inf and controller_time is math.inf:
+        controller_time = float(controller_cycle) if controller_cycle is not None else NEVER
+        if core_cycle >= NEVER and controller_time >= NEVER:
             now += 1
             continue
         if core_cycle <= controller_time:
@@ -50,7 +51,10 @@ class TestCoreBasics:
     def test_empty_trace_is_finished(self, tiny_dram_config):
         core, controller = make_core(tiny_dram_config, Trace())
         assert core.finished
-        assert core.next_event_cycle() == math.inf
+        assert core.next_event_cycle() == NEVER
+        # The sentinel is a typed int, not float("inf"): cycle arithmetic
+        # touching it can never silently become float.
+        assert isinstance(core.next_event_cycle(), int)
 
     def test_single_read_completes(self, tiny_dram_config):
         trace = Trace.from_tuples([(10, 0x1000)])

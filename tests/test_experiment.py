@@ -363,4 +363,6 @@ class TestDeprecatedShims:
         assert "run_single_core is deprecated" in str(deprecations[0].message)
 
 
-PINNED_HASH = "47078fb13e4caaad3f47bc072e66e8cb94219c4333bd31f2ca0e9a3d69b90852"
+# Regenerated for the controller-policy layer: PlatformSpec grew the
+# ``controller`` key (SWEEP_CACHE_VERSION 5).
+PINNED_HASH = "daea0a0692f62f8b73ffc20872a3df9a72edb751d8a1da08f38aa2e2e592e0bd"

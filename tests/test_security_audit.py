@@ -79,6 +79,7 @@ class TestReportRoundTrip:
             pattern="synth_uniform",
             nrh=125,
             channels=1,
+            policy="fr_fcfs/open_page/all_bank",
             secure=True,
             max_disturbance=4,
             margin=4 / 125,
@@ -162,6 +163,41 @@ class TestCampaignExecution:
         finding = first.finding_for("comet", "synth_uniform", 200)
         assert finding.margin == finding.max_disturbance / 200
         assert len(finding.spec_hash) == 64
+
+    def test_policy_axis_cells_and_round_trip(self):
+        """The controller-policy axis: one cell per policy triple, labelled,
+        surviving the JSON round trip."""
+        from repro.controller.policies import ControllerPolicySpec
+
+        report = run_audit(
+            mitigations=["para"],
+            patterns=["synth_uniform"],
+            nrhs=[150],
+            num_requests=600,
+            platform=TINY,
+            policies=[None, ControllerPolicySpec(scheduler="fcfs")],
+            session=Session(max_workers=0, use_cache=False),
+        )
+        assert len(report.findings) == 2
+        assert {f.policy for f in report.findings} == {
+            "fr_fcfs/open_page/all_bank",
+            "fcfs/open_page/all_bank",
+        }
+        assert report.metadata["policies"] == [
+            "fcfs/open_page/all_bank",
+            "fr_fcfs/open_page/all_bank",
+        ]
+        default_cell = report.finding_for(
+            "para", "synth_uniform", 150, policy="fr_fcfs/open_page/all_bank"
+        )
+        fcfs_cell = report.finding_for(
+            "para", "synth_uniform", 150, policy="fcfs/open_page/all_bank"
+        )
+        assert default_cell.policy != fcfs_cell.policy
+        restored = SecurityReport.from_json(report.to_json())
+        assert restored.to_dict() == report.to_dict()
+        # The per-mechanism verdict reduces across both policy cells.
+        assert report.verdict_for("para").patterns_run == 2
 
     def test_workers_do_not_change_the_report(self, tmp_path):
         """workers=1 vs workers=4 must reduce to the identical report."""
