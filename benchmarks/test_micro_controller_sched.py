@@ -23,8 +23,7 @@ import json
 import timeit
 from typing import Dict, List, Optional, Tuple
 
-from _bench_utils import RESULTS_DIR, record
-from repro.analysis.reporting import format_table
+from _bench_utils import RESULTS_DIR
 from repro.controller.controller import MemoryController
 from repro.controller.request import MemoryRequest, RequestType
 from repro.dram.commands import Command, CommandKind
@@ -170,7 +169,6 @@ def _measure(fn, rounds: int = 400) -> float:
 
 
 def test_micro_ready_queue_selection(benchmark):
-    rows = []
     artifact = {"rounds": 400, "scenarios": {}}
     for label, num_reads, num_writes in SCENARIOS:
         controller = _populated_controller(num_reads, num_writes)
@@ -184,15 +182,6 @@ def test_micro_ready_queue_selection(benchmark):
         incremental_s = _measure(lambda: controller._demand_command(cycle))
         legacy_s = _measure(lambda: _legacy_demand_command(controller, cycle))
         speedup = legacy_s / incremental_s
-        rows.append(
-            {
-                "scenario": label,
-                "queue_depth": num_reads + num_writes,
-                "legacy_ms": round(legacy_s * 1e3, 3),
-                "incremental_ms": round(incremental_s * 1e3, 3),
-                "speedup_x": round(speedup, 3),
-            }
-        )
         artifact["scenarios"][label] = {
             "queue_depth": num_reads + num_writes,
             "legacy_seconds": legacy_s,
@@ -202,16 +191,15 @@ def test_micro_ready_queue_selection(benchmark):
 
     benchmark(_populated_controller(64, 0)._demand_command, 1)
 
-    record(
-        "BENCH_controller",
-        format_table(
-            rows, title="ready-queue selection: legacy full rescan vs incremental"
-        ),
-    )
+    # JSON is the single artifact now (the old bench_controller.txt twin was
+    # dropped): one machine-readable file per harness, uploaded by CI.
     RESULTS_DIR.mkdir(exist_ok=True)
     ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
 
-    speedups = {row["scenario"]: row["speedup_x"] for row in rows}
+    speedups = {
+        label: scenario["speedup_x"]
+        for label, scenario in artifact["scenarios"].items()
+    }
     # Deep queues are the point of the refactor (~1.6x / ~1.9x measured on
     # an idle machine): the incremental index must win clearly there.  The
     # shallow/medium gates only guard against a real regression — they get

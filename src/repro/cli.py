@@ -23,6 +23,12 @@ through a :class:`~repro.experiment.session.Session`.
     Run one serialized :class:`ExperimentSpec` end-to-end and print its
     summary; ``--out`` archives the full :class:`RunRecord` as JSON.
 
+``python -m repro.cli run ... --profile``
+    Profile the run under cProfile and append the top hot functions plus
+    per-component time attribution (where the host cycles go:
+    ``sim`` / ``controller`` / ``dram`` / ``cpu`` / ``mitigations`` / ...)
+    to the summary — see :mod:`repro.analysis.profiling`.
+
 ``python -m repro.cli compare --workload 429.mcf --nrh 125``
     Run every mitigation on one workload and print a comparison table.
 
@@ -190,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="with --spec: also write the full RunRecord JSON here",
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run under cProfile and append the top hot "
+        "functions plus per-component time attribution",
     )
 
     compare_parser = subparsers.add_parser(
@@ -387,8 +399,19 @@ def _command_workloads(_args: argparse.Namespace) -> str:
 
 
 def _command_run(args: argparse.Namespace) -> str:
-    if args.spec is not None:
-        return _run_spec_file(args)
+    body = _run_spec_file if args.spec is not None else _run_from_flags
+    if not args.profile:
+        return body(args)
+    # Profiled runs go through an uncached Session (`_session()` with no
+    # sweep flags disables the result cache), so cProfile always sees a
+    # real simulation, never a cache hit.
+    from repro.analysis.profiling import profile_call
+
+    output, report = profile_call(lambda: body(args))
+    return output + "\n\n" + report.render()
+
+
+def _run_from_flags(args: argparse.Namespace) -> str:
     session = _session()
     policy = _policy_from_args(args)
     records = session.compare(

@@ -49,10 +49,12 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import fastpath
 from repro.controller.policies import (
     NEVER,
     ControllerPolicySpec,
     DEFAULT_POLICY,
+    RowPolicy,
 )
 from repro.controller.request import MemoryRequest, RequestType
 from repro.dram.address import AddressMapper, DRAMAddress
@@ -227,12 +229,27 @@ class MemoryController:
         self.dram = DRAMSystem(dram_config, channel=channel)
         self.mapper = AddressMapper(dram_config)
         self.stats = ControllerStatistics()
-        #: Monotonic count of scheduler-visible state changes (enqueues,
-        #: issues, request retirements, owed extra refreshes).  The event
-        #: kernel compares snapshots of this counter to prove an idle
-        #: channel's cached (non-)decision is still valid without re-running
-        #: command selection.
+        #: Monotonic count of scheduler-visible state changes (accepted
+        #: enqueues, issues, request retirements, owed extra refreshes — a
+        #: rejected enqueue changes nothing and does not count).  The event
+        #: kernel compares snapshots of this counter to prove a channel's
+        #: cached decision (or cached "nothing to do") is still valid
+        #: without re-running command selection.
         self.mutations = 0
+        #: The struct-of-arrays demand scan applies only when the scheduler
+        #: declares exact equivalence (see SchedulingPolicy.SUPPORTS_FAST_SCAN)
+        #: and the global fast-path switch was on at construction time.
+        self._fast_demand = fastpath.enabled() and getattr(
+            self.scheduler, "SUPPORTS_FAST_SCAN", False
+        )
+        #: Static proof that the row policy never emits close candidates
+        #: (the default open-page case), letting the fast scan skip the
+        #: close-candidate pass entirely.
+        self._row_policy_closes = (
+            type(self.row_policy).close_candidates is not RowPolicy.close_candidates
+        )
+        #: Per-bank-key (rank, timing-table index) cache for the fast scan.
+        self._bank_meta: Dict[Tuple[int, int, int, int], tuple] = {}
 
         self.read_queue: List[MemoryRequest] = []
         self.write_queue: List[MemoryRequest] = []
@@ -282,11 +299,11 @@ class MemoryController:
 
     def enqueue(self, request: MemoryRequest, cycle: int) -> bool:
         """Add a request to the appropriate queue; returns False when full."""
-        self.mutations += 1
         request.arrival_cycle = cycle
         if request.request_type is RequestType.READ:
             if len(self.read_queue) >= self.config.read_queue_size:
                 return False
+            self.mutations += 1
             self.read_queue.append(request)
             self._index_request(self._bank_reads, request)
             if request.is_mitigation_traffic:
@@ -296,6 +313,7 @@ class MemoryController:
         elif request.request_type is RequestType.WRITE:
             if len(self.write_queue) >= self.config.write_queue_size:
                 return False
+            self.mutations += 1
             self.write_queue.append(request)
             self._index_request(self._bank_writes, request)
             if request.is_mitigation_traffic:
@@ -303,6 +321,7 @@ class MemoryController:
             else:
                 self.stats.write_requests += 1
         else:
+            self.mutations += 1
             self.preventive_queue.append(request)
             self.stats.preventive_refreshes += 1
         return True
@@ -597,6 +616,257 @@ class MemoryController:
         )
 
     def _demand_command(
+        self, cycle: int
+    ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
+        if self._fast_demand:
+            return self._fast_demand_command(cycle)
+        return self._generic_demand_command(cycle)
+
+    def _fast_demand_command(
+        self, cycle: int
+    ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
+        """FR-FCFS demand scan against the struct-of-arrays timing table.
+
+        Semantically identical to :meth:`_generic_demand_command` with the
+        default scheduler — same bank iteration order, same early-exit
+        hit/conflict scan, same ``(issue_cycle, arrival, scan_key)`` ordering
+        and the same mitigation-throttle evaluation per closed-bank candidate
+        — but it reads the shared :class:`~repro.dram.bank.BankTimingTable`
+        arrays and rank scalars directly and constructs a single
+        :class:`~repro.dram.commands.Command` for the winner, instead of
+        materializing one per candidate through ``Bank``/``Rank`` method
+        chains.  Equivalence is pinned by ``tests/test_fastpath_identity.py``
+        and the golden traces.
+        """
+        self._update_drain_mode()
+        reads_active = bool(self.read_queue)
+        writes_active = bool(self.write_queue) and (
+            self._draining_writes or not self.read_queue
+        )
+
+        best_order: Optional[tuple] = None
+        best_kind: Optional[CommandKind] = None
+        best_command: Optional[Command] = None
+        best_request: Optional[MemoryRequest] = None
+
+        if reads_active or writes_active:
+            bank_reads = self._bank_reads if reads_active else _NO_PENDING
+            bank_writes = self._bank_writes if writes_active else _NO_PENDING
+            bank_keys: List[Tuple[int, int, int, int]] = list(bank_reads)
+            if bank_writes:
+                bank_keys.extend(
+                    key for key in bank_writes if key not in bank_reads
+                )
+
+            dram = self.dram
+            table = dram.timing_table
+            open_rows = table.open_row
+            col_accesses = table.col_accesses
+            next_act = table.next_act
+            next_pre = table.next_pre
+            next_read = table.next_read
+            next_write = table.next_write
+            timing = self.dram_config.timing
+            tRRD_L, tRRD_S, tFAW = timing.tRRD_L, timing.tRRD_S, timing.tFAW
+            tCCD_L, tCCD_S = timing.tCCD_L, timing.tCCD_S
+            tWTR_L, tWTR_S, tRTW = timing.tWTR_L, timing.tWTR_S, timing.tRTW
+            tCL, tCWL = timing.tCL, timing.tCWL
+            command_bus_free = dram._command_bus_free
+            data_bus_free = dram._data_bus_free
+            column_cap = self.config.column_cap
+            mitigation = self.mitigation
+            merged_cache = self._merged_cache
+            bank_meta = self._bank_meta
+            ranks = dram.ranks
+
+            for bank_key in bank_keys:
+                reads = bank_reads.get(bank_key)
+                writes = bank_writes.get(bank_key)
+                if writes is None:
+                    pending = reads.requests
+                    scan_key = (0, reads.min_seq)
+                elif reads is None:
+                    pending = writes.requests
+                    scan_key = (1, writes.min_seq)
+                else:
+                    pending = merged_cache.get(bank_key)
+                    if pending is None:
+                        pending = _merge_pending(reads.requests, writes.requests)
+                        merged_cache[bank_key] = pending
+                    scan_key = (0, reads.min_seq)
+
+                meta = bank_meta.get(bank_key)
+                if meta is None:
+                    rank = ranks[(bank_key[0], bank_key[1])]
+                    meta = bank_meta[bank_key] = (
+                        rank,
+                        rank.banks[(bank_key[2], bank_key[3])].index,
+                    )
+                rank, bank_index = meta
+                bankgroup = bank_key[2]
+
+                bus = command_bus_free[bank_key[0]]
+                issue = cycle if cycle > bus else bus
+                row = open_rows[bank_index]
+                if row is None:
+                    # Closed bank: the oldest request wins and needs an ACT.
+                    request = pending[0]
+                    if next_act[bank_index] > issue:
+                        issue = next_act[bank_index]
+                    if rank.blocked_until > issue:
+                        issue = rank.blocked_until
+                    if rank.last_act_bankgroup is not None:
+                        ready = rank.last_act_cycle + (
+                            tRRD_L
+                            if bankgroup == rank.last_act_bankgroup
+                            else tRRD_S
+                        )
+                        if ready > issue:
+                            issue = ready
+                    recent = rank.recent_act_cycles
+                    if len(recent) == recent.maxlen:
+                        ready = recent[0] + tFAW
+                        if ready > issue:
+                            issue = ready
+                    if mitigation is not None:
+                        allowed = mitigation.act_allowed_cycle(
+                            request.address, issue
+                        )
+                        if allowed > issue:
+                            issue = allowed
+                    kind = CommandKind.ACT
+                else:
+                    cap_reached = col_accesses[bank_index] >= column_cap
+                    first_hit: Optional[MemoryRequest] = None
+                    first_conflict: Optional[MemoryRequest] = None
+                    for request in pending:
+                        if request.address.row == row:
+                            if first_hit is None:
+                                first_hit = request
+                                if not cap_reached or first_conflict is not None:
+                                    break
+                        elif first_conflict is None:
+                            first_conflict = request
+                            if first_hit is not None:
+                                break
+                    if first_hit is not None and not (
+                        cap_reached and first_conflict is not None
+                    ):
+                        request = first_hit
+                        is_write = request.is_write
+                        ready = (
+                            next_write[bank_index]
+                            if is_write
+                            else next_read[bank_index]
+                        )
+                        if ready > issue:
+                            issue = ready
+                        if rank.blocked_until > issue:
+                            issue = rank.blocked_until
+                        if rank.last_col_bankgroup is not None:
+                            ready = rank.last_col_cycle + (
+                                tCCD_L
+                                if bankgroup == rank.last_col_bankgroup
+                                else tCCD_S
+                            )
+                            if ready > issue:
+                                issue = ready
+                            if rank.last_col_was_write and not is_write:
+                                ready = rank.last_col_data_end + (
+                                    tWTR_L
+                                    if bankgroup == rank.last_col_bankgroup
+                                    else tWTR_S
+                                )
+                                if ready > issue:
+                                    issue = ready
+                            if not rank.last_col_was_write and is_write:
+                                ready = rank.last_col_cycle + tRTW
+                                if ready > issue:
+                                    issue = ready
+                        data_latency = tCWL if is_write else tCL
+                        bus_free = data_bus_free[bank_key[0]]
+                        if issue + data_latency < bus_free:
+                            issue = bus_free - data_latency
+                        kind = CommandKind.WR if is_write else CommandKind.RD
+                    elif first_conflict is None:
+                        continue
+                    else:
+                        # Row conflict (or column cap reached): precharge on
+                        # behalf of the oldest conflicting request.
+                        request = first_conflict
+                        if next_pre[bank_index] > issue:
+                            issue = next_pre[bank_index]
+                        if rank.blocked_until > issue:
+                            issue = rank.blocked_until
+                        kind = CommandKind.PRE
+
+                order = (issue, request.arrival_cycle, scan_key)
+                if best_order is None or order < best_order:
+                    best_order = order
+                    best_kind = kind
+                    best_request = request
+
+        if self._row_policy_closes:
+            for bank_key, opened_cycle, not_before in self.row_policy.close_candidates(
+                self, cycle
+            ):
+                bank = self.dram.bank(*bank_key)
+                if bank.is_closed():
+                    continue
+                command = Command(
+                    CommandKind.PRE,
+                    channel=bank_key[0],
+                    rank=bank_key[1],
+                    bankgroup=bank_key[2],
+                    bank=bank_key[3],
+                    metadata={"policy_close": True},
+                )
+                issue_cycle = self.dram.earliest_issue_cycle(
+                    command, max(cycle, not_before)
+                )
+                order = (
+                    issue_cycle,
+                    *self.scheduler.close_priority(opened_cycle),
+                    (2, *bank_key),
+                )
+                if best_order is None or order < best_order:
+                    best_order = order
+                    best_command = command
+                    best_request = None
+
+        if best_order is None:
+            return None
+        if best_command is None:
+            address = best_request.address
+            if best_kind is CommandKind.ACT:
+                best_command = Command(
+                    CommandKind.ACT,
+                    channel=address.channel,
+                    rank=address.rank,
+                    bankgroup=address.bankgroup,
+                    bank=address.bank,
+                    row=address.row,
+                )
+            elif best_kind is CommandKind.PRE:
+                best_command = Command(
+                    CommandKind.PRE,
+                    channel=address.channel,
+                    rank=address.rank,
+                    bankgroup=address.bankgroup,
+                    bank=address.bank,
+                )
+            else:
+                best_command = Command(
+                    best_kind,
+                    channel=address.channel,
+                    rank=address.rank,
+                    bankgroup=address.bankgroup,
+                    bank=address.bank,
+                    column=address.column,
+                )
+        return best_order[0], best_command, best_request
+
+    def _generic_demand_command(
         self, cycle: int
     ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
         self._update_drain_mode()

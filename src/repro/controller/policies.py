@@ -188,6 +188,12 @@ class SchedulingPolicy:
     name = "base"
     #: Policy parameters accepted by the constructor (spec ``params`` keys).
     PARAMS: Tuple[str, ...] = ()
+    #: True when the controller's struct-of-arrays demand scan
+    #: (:meth:`~repro.controller.controller.MemoryController._fast_demand_command`)
+    #: reproduces this policy's :meth:`bank_candidate` semantics exactly.
+    #: Policies that reorder on anything beyond (row state, arrival, issue
+    #: cycle) must leave this False and take the generic per-bank scan.
+    SUPPORTS_FAST_SCAN = False
 
     def bank_candidate(
         self,
@@ -323,7 +329,17 @@ def _column_command(request: "MemoryRequest") -> Command:
     "starve row misses (the paper's Table 2 scheduler)",
 )
 class FRFCFSScheduler(SchedulingPolicy):
-    """FR-FCFS with the column-cap starvation guard (the default)."""
+    """FR-FCFS with the column-cap starvation guard (the default).
+
+    The controller's struct-of-arrays demand scan replicates this method's
+    semantics — closed bank → ACT for the oldest request (mitigation
+    throttle applied), open bank → first hit unless the column cap forces
+    the oldest conflict's PRE — against the shared bank-timing table, so the
+    two must change in lockstep (``tests/test_fastpath_identity.py`` and the
+    golden traces pin the equivalence).
+    """
+
+    SUPPORTS_FAST_SCAN = True
 
     def bank_candidate(self, controller, bank, pending, cycle):
         if bank.is_closed():

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.dram.address import DRAMAddress
-from repro.dram.bank import Bank, BankState, TimingViolation
+from repro.dram.bank import Bank, BankTimingTable, TimingViolation
 from repro.dram.commands import Command, CommandKind
 from repro.dram.config import DRAMConfig
 
@@ -56,21 +56,45 @@ class DRAMStatistics:
 
 
 class Rank:
-    """One DRAM rank: a set of banks plus rank-scoped timing state."""
+    """One DRAM rank: a set of banks plus rank-scoped timing state.
 
-    def __init__(self, config: DRAMConfig, channel: int, rank: int) -> None:
+    ``table``/``index_base`` place this rank's banks in the DRAM system's
+    shared :class:`~repro.dram.bank.BankTimingTable` (dense, contiguous
+    slots); standalone construction creates a private table.
+    """
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        channel: int,
+        rank: int,
+        table: Optional[BankTimingTable] = None,
+        index_base: int = 0,
+    ) -> None:
         self.config = config
         self.channel = channel
         self.rank = rank
         org = config.organization
         timing = config.timing
+        num_banks = org.bankgroups_per_rank * org.banks_per_bankgroup
+        if table is None:
+            table = BankTimingTable(num_banks)
+            index_base = 0
+        self.table = table
+        self._bank_indices = range(index_base, index_base + num_banks)
         self.banks: Dict[Tuple[int, int], Bank] = {}
+        index = index_base
         for bankgroup in range(org.bankgroups_per_rank):
             for bank in range(org.banks_per_bankgroup):
                 key = (bankgroup, bank)
                 self.banks[key] = Bank(
-                    timing, org.rows_per_bank, bank_key=(channel, rank, bankgroup, bank)
+                    timing,
+                    org.rows_per_bank,
+                    bank_key=(channel, rank, bankgroup, bank),
+                    table=table,
+                    index=index,
                 )
+                index += 1
         # Rank-level ACT constraints.
         self.last_act_cycle = -(10**9)
         self.last_act_bankgroup: Optional[int] = None
@@ -133,17 +157,22 @@ class Rank:
     def earliest_refresh(self, cycle: int) -> int:
         """A REF may issue once every bank is precharged and tRP has elapsed."""
         earliest = max(cycle, self.blocked_until)
-        for bank in self.banks.values():
-            if bank.state is BankState.OPEN:
+        table = self.table
+        tRP = self.config.timing.tRP
+        for i in self._bank_indices:
+            if table.open_row[i] is not None:
                 # The controller must precharge first; report the earliest
                 # cycle the bank could be closed and reopened for REF.
-                earliest = max(earliest, bank.earliest_precharge() + self.config.timing.tRP)
+                candidate = table.next_pre[i] + tRP
             else:
-                earliest = max(earliest, bank.earliest_activate())
+                candidate = table.next_act[i]
+            if candidate > earliest:
+                earliest = candidate
         return earliest
 
     def all_banks_closed(self) -> bool:
-        return all(bank.state is BankState.CLOSED for bank in self.banks.values())
+        table = self.table
+        return all(table.open_row[i] is None for i in self._bank_indices)
 
     # ------------------------------------------------------------------ #
     # Command application
@@ -213,10 +242,23 @@ class DRAMSystem:
             )
         self.channel = channel
         channels = range(org.channels) if channel is None else (channel,)
+        # One shared struct-of-arrays timing table covering every bank this
+        # system owns; ranks claim contiguous slot ranges in (channel, rank,
+        # bankgroup, bank) order.  The controller's FR-FCFS fast scan reads
+        # these arrays directly (see MemoryController._fast_demand_command).
+        banks_per_rank = org.bankgroups_per_rank * org.banks_per_bankgroup
+        num_channels = org.channels if channel is None else 1
+        self.timing_table = BankTimingTable(
+            num_channels * org.ranks_per_channel * banks_per_rank
+        )
         self.ranks: Dict[Tuple[int, int], Rank] = {}
+        index_base = 0
         for ch in channels:
             for rank in range(org.ranks_per_channel):
-                self.ranks[(ch, rank)] = Rank(config, ch, rank)
+                self.ranks[(ch, rank)] = Rank(
+                    config, ch, rank, table=self.timing_table, index_base=index_base
+                )
+                index_base += banks_per_rank
         # One data bus and one command bus per channel.
         self._data_bus_free: Dict[int, int] = {ch: 0 for ch in channels}
         self._command_bus_free: Dict[int, int] = {ch: 0 for ch in channels}

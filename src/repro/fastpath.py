@@ -1,0 +1,53 @@
+"""Global switch for the accelerated simulation hot path.
+
+The simulator ships two functionally identical hot paths:
+
+* the **legacy path** — per-event controller rescheduling in
+  :class:`~repro.sim.engine.EventKernel` and the generic per-policy bank
+  scan in :class:`~repro.controller.controller.MemoryController`; and
+* the **fast path** — the "untouched channel" decision-cache skip in the
+  kernel plus the struct-of-arrays FR-FCFS bank scan, which avoid most of
+  the per-event Python dispatch.
+
+Both paths are bit-identical (pinned by ``tests/golden/`` and by
+``tests/test_fastpath_identity.py``); the only reason the legacy path
+survives is measurement: ``benchmarks/test_micro_kernel_e2e.py`` builds one
+system per path *in the same process* and reports the whole-run speedup in
+``benchmarks/results/BENCH_kernel.json``.
+
+The switch is read at component *construction* time (controller ``__init__``
+and kernel ``__init__``), so toggling it never changes the behaviour of a
+system that already exists.  Set the environment variable
+``REPRO_FASTPATH=0`` to build legacy-path systems globally (e.g. to bisect a
+suspected fast-path divergence), or use :func:`forced` for scoped toggling.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_enabled: bool = os.environ.get("REPRO_FASTPATH", "1") != "0"
+
+
+def enabled() -> bool:
+    """True when newly built systems should use the accelerated hot path."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Set the switch; returns the previous value (for manual save/restore)."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+@contextmanager
+def forced(flag: bool):
+    """Scope the switch to ``flag``; systems built inside use that path."""
+    previous = set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

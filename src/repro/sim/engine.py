@@ -21,15 +21,23 @@ Each component is an *event source*:
 * Each **memory controller** (one per channel on a
   :class:`~repro.controller.fabric.ChannelFabric`; a bare controller is
   treated as a 1-entry fabric) is scheduled at the earliest cycle at which
-  it can issue a command.  Entries are invalidated and recomputed after
-  every event that can change a controller's queues — except that an *idle*
-  channel (no queued work, no due refresh) is skipped: its mutation counter
+  it can issue a command.  Entries are invalidated and recomputed after an
+  event only when that event could actually have changed the controller's
+  answer: an *untouched* channel — its mutation counter
   (:attr:`~repro.controller.controller.MemoryController.mutations`) proves
-  its queues are untouched and
+  its queues and device state are unchanged,
   :meth:`~repro.controller.controller.MemoryController.decision_crosses_boundary`
-  proves no refresh deadline or scheduler priority boundary was crossed, so
-  re-running command selection would provably return "nothing to do" again.  This is what lets a wide
-  fabric pay per-event cost only for its busy channels.
+  proves no refresh deadline or scheduler priority boundary was crossed,
+  and its cached decision (if any) has not fallen behind the clock — keeps
+  its cached decision and live heap entry as is.  This covers both the idle
+  case (cached "nothing to do" stays nothing) and the busy case (a cached
+  decision whose issue cycle is still in the future stays the right
+  choice), so an event that provably touched one channel no longer
+  recomputes all of them, and an idle span collapses to a single jump of
+  ``now`` to the next live entry instead of per-event rescheduling.  The
+  busy-case skip is part of the fast path
+  (:mod:`repro.fastpath`); with the switch off the kernel recomputes after
+  every event like the pre-fast-path kernel did.
 * **Mitigations** may register their own timestamped callbacks through
   :meth:`EventKernel.schedule` (see
   :meth:`repro.mitigations.base.RowHammerMitigation.register_events`).
@@ -58,6 +66,7 @@ import heapq
 import math
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import fastpath
 from repro.controller.policies import NEVER
 from repro.cpu.core import Core
 
@@ -67,6 +76,19 @@ from repro.cpu.core import Core
 _PRIORITY_CORE = 0
 _PRIORITY_CONTROLLER = 1
 _PRIORITY_CALLBACK = 2
+
+
+def _as_cycle(time: float) -> int:
+    """THE kernel-time → controller-cycle conversion point.
+
+    Kernel timestamps may be fractional (core dispatch cycles are spaced at
+    the sub-cycle issue rate); controllers operate on integer DRAM cycles.
+    Every conversion funnels through this ceiling so the rounding rule lives
+    in exactly one place — heap entries from integer sources (controller
+    issue cycles, integer callback cycles) are pushed as ``int`` and pass
+    through unchanged.
+    """
+    return math.ceil(time)
 
 
 class SimulationDeadlockError(RuntimeError):
@@ -126,6 +148,16 @@ class EventKernel:
         #: Cores whose state changed mid-event (read completions fire while
         #: a controller is issuing); re-scheduled once the event finishes.
         self._dirty_cores: set[int] = set()
+        #: Index of cores currently blocked on a rejected enqueue.  A core's
+        #: blocked flag only changes inside its own step/retry (or the stall
+        #: recovery), so maintaining the set there makes the slot-free hook
+        #: O(blocked) instead of a scan over every core.
+        self._blocked_cores: set[int] = set()
+        #: Fast-path switch, latched at construction (see repro.fastpath):
+        #: gates the untouched-channel skip of a *cached decision*.  Off, the
+        #: kernel reschedules every controller after every event (the legacy
+        #: behaviour the e2e benchmark times against).
+        self._fast = fastpath.enabled()
 
         for index, core in enumerate(self.cores):
             core.kernel_wakeup = self._make_core_wakeup(index)
@@ -143,9 +175,11 @@ class EventKernel:
         self._callback_seq += 1
         token = self._callback_seq
         self._callbacks[token] = callback
-        heapq.heappush(
-            self._heap, (max(float(cycle), self.now), _PRIORITY_CALLBACK, token, 0)
-        )
+        # Integer cycles stay integers on the heap (int/float compare
+        # exactly for cycle magnitudes); only clamping to a fractional
+        # ``now`` can produce a fractional timestamp.
+        time = cycle if cycle >= self.now else self.now
+        heapq.heappush(self._heap, (time, _PRIORITY_CALLBACK, token, 0))
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -174,17 +208,23 @@ class EventKernel:
                     core.retry_blocked(self.now)
                 elif not core.finished:
                     core.step(self.now)
+                # The blocked flag only changes inside step/retry; keep the
+                # O(blocked) slot-free index in lockstep here.
+                if core.has_blocked_request:
+                    self._blocked_cores.add(index)
+                else:
+                    self._blocked_cores.discard(index)
                 self._schedule_core(index)
                 self._schedule_controllers()
             elif priority == _PRIORITY_CONTROLLER:
                 ctl = self.controllers[index]
                 self._ctl_has_entry[index] = False
                 if self._ctl_recheck[index]:
-                    issued = ctl.issue_next(int(math.ceil(time)))
+                    issued = ctl.issue_next(_as_cycle(time))
                 else:
                     issued = ctl.issue_decision(self._ctl_decision[index])
-                if issued is not None:
-                    self.now = max(self.now, float(issued))
+                if issued is not None and issued > self.now:
+                    self.now = issued
                 self._schedule_controllers()
             else:
                 callback = self._callbacks.pop(index, None)
@@ -210,17 +250,17 @@ class EventKernel:
             # never silently promoted to float): the core is waiting on
             # memory and will be woken by a completion or slot-free hook.
             return
+        time = cycle if cycle >= self.now else self.now
         heapq.heappush(
-            self._heap,
-            (max(float(cycle), self.now), _PRIORITY_CORE, index, self._core_gen[index]),
+            self._heap, (time, _PRIORITY_CORE, index, self._core_gen[index])
         )
 
     def _schedule_core_retry(self, index: int, cycle: float) -> None:
         """Wake a blocked core at ``cycle`` to retry its rejected request."""
         self._core_gen[index] += 1
+        time = cycle if cycle >= self.now else self.now
         heapq.heappush(
-            self._heap,
-            (max(float(cycle), self.now), _PRIORITY_CORE, index, self._core_gen[index]),
+            self._heap, (time, _PRIORITY_CORE, index, self._core_gen[index])
         )
 
     def _schedule_controllers(self) -> None:
@@ -229,19 +269,43 @@ class EventKernel:
 
     def _schedule_controller(self, index: int) -> None:
         ctl = self.controllers[index]
-        cycle = int(math.ceil(self.now))
-        if (
-            self._ctl_decision[index] is None
-            and not self._ctl_has_entry[index]
-            and self._ctl_cached_mutations[index] is not None
-            and self._ctl_cached_mutations[index] == getattr(ctl, "mutations", None)
-            and not ctl.decision_crosses_boundary(self._ctl_cached_cycle[index], cycle)
+        cycle = _as_cycle(self.now)
+        cached_mutations = self._ctl_cached_mutations[index]
+        if cached_mutations is not None and cached_mutations == getattr(
+            ctl, "mutations", None
         ):
-            # Idle-channel skip: command selection previously found nothing
-            # to do, the controller's queues are untouched since (mutation
-            # counter unchanged) and no refresh deadline was crossed, so the
-            # recomputed decision would be "nothing" again.
-            return
+            decision = self._ctl_decision[index]
+            if decision is None:
+                if not self._ctl_has_entry[index] and not ctl.decision_crosses_boundary(
+                    self._ctl_cached_cycle[index], cycle
+                ):
+                    # Idle-channel skip: command selection previously found
+                    # nothing to do, the controller's queues are untouched
+                    # since (mutation counter unchanged) and no refresh
+                    # deadline was crossed, so the recomputed decision would
+                    # be "nothing" again.
+                    return
+            elif (
+                self._fast
+                and self._ctl_has_entry[index]
+                and decision[0] >= cycle
+                and not ctl.decision_crosses_boundary(
+                    self._ctl_cached_cycle[index], cycle
+                )
+            ):
+                # Untouched-channel skip: the cached decision and its live
+                # heap entry stay valid.  Safe because (a) no scheduler-
+                # visible state changed (mutation counter unchanged), (b) no
+                # refresh deadline or scheduler priority boundary lies in
+                # (cached_cycle, cycle], and (c) the cached issue cycle has
+                # not fallen behind the clock — re-running selection with
+                # the clamp cycle raised to ``cycle`` can only raise losing
+                # candidates' issue cycles, never change the winner or its
+                # (still-future) issue cycle.  A decision already in the
+                # past (``now`` jumped over it via a recheck-path issue)
+                # must be re-clamped, exactly as the legacy per-event
+                # recompute would.
+                return
         self._ctl_gen[index] += 1
         decision = ctl.next_decision(cycle)
         self._ctl_cached_cycle[index] = cycle
@@ -261,7 +325,7 @@ class EventKernel:
         self._ctl_recheck[index] = ctl.decision_crosses_boundary(cycle, issue_cycle)
         heapq.heappush(
             self._heap,
-            (float(issue_cycle), _PRIORITY_CONTROLLER, index, self._ctl_gen[index]),
+            (issue_cycle, _PRIORITY_CONTROLLER, index, self._ctl_gen[index]),
         )
         self._ctl_has_entry[index] = True
 
@@ -284,8 +348,7 @@ class EventKernel:
             core = self.cores[index]
             if core.has_blocked_request:
                 current = max(
-                    (float(ctl.current_cycle) for ctl in self.controllers),
-                    default=0.0,
+                    (ctl.current_cycle for ctl in self.controllers), default=0
                 )
                 self._schedule_core_retry(index, max(self.now, current))
             else:
@@ -301,9 +364,10 @@ class EventKernel:
         return wakeup
 
     def _on_slot_free(self) -> None:
-        for index, core in enumerate(self.cores):
-            if core.has_blocked_request:
-                self._dirty_cores.add(index)
+        # O(blocked): the blocked-core index is maintained at every core
+        # step/retry, so a freed queue slot wakes exactly the cores that
+        # were waiting on one instead of scanning all of them.
+        self._dirty_cores.update(self._blocked_cores)
 
     # ------------------------------------------------------------------ #
     # Stall handling
@@ -320,6 +384,7 @@ class EventKernel:
         progressed = False
         for index, core in enumerate(self.cores):
             if core.has_blocked_request and core.retry_blocked(self.now):
+                self._blocked_cores.discard(index)
                 self._schedule_core(index)
                 progressed = True
         if progressed:

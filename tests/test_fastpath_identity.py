@@ -1,0 +1,92 @@
+"""Bit-identity of the fast hot path against the legacy recompute path.
+
+:mod:`repro.fastpath` gates two independent accelerations — the
+controller's struct-of-arrays FR-FCFS scan
+(:meth:`~repro.controller.controller.MemoryController._fast_demand_command`)
+and the event kernel's untouched-channel decision skip
+(:meth:`~repro.sim.engine.EventKernel._schedule_controller`).  Both claim
+to be pure optimisations: same commands, same cycles, same statistics.
+These tests pin that claim at the whole-run level by executing identical
+experiments with the switch forced off and on and comparing every field of
+the :class:`~repro.sim.system.SimulationResult`.  The e2e benchmark
+(``benchmarks/test_micro_kernel_e2e.py``) re-checks the same invariant on
+its larger timed scenarios; this file keeps a small always-on copy in
+tier-1.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.controller.policies import ControllerPolicySpec
+from repro.experiment.execute import execute_spec
+from repro.experiment.spec import (
+    ExperimentSpec,
+    MitigationSpec,
+    PlatformSpec,
+    WorkloadSpec,
+)
+
+#: Small but structurally diverse runs: single channel with full violation
+#: recording, a multi-core 2-channel fabric (per-channel skip state), an
+#: adversarial pattern under the streaming verifier, and a BLISS/closed-page
+#: policy point (non-FR-FCFS schedulers take the generic scan, but the
+#: kernel skip must still respect BLISS' clearing boundary).
+SPECS = {
+    "single_core_comet": ExperimentSpec(
+        workload=WorkloadSpec(name="429.mcf", num_requests=800),
+        mitigation=MitigationSpec(name="comet", nrh=250),
+    ),
+    "multicore_2ch": ExperimentSpec(
+        workload=WorkloadSpec(name="429.mcf", num_requests=500, num_cores=4),
+        mitigation=MitigationSpec(name="comet", nrh=250),
+        platform=PlatformSpec(channels=2),
+    ),
+    "attack_streaming": ExperimentSpec(
+        workload=WorkloadSpec(name="attack_traditional", num_requests=800),
+        mitigation=MitigationSpec(name="para", nrh=125),
+        verify_security="streaming",
+    ),
+    "bliss_closed_page": ExperimentSpec(
+        workload=WorkloadSpec(name="429.mcf", num_requests=800),
+        mitigation=MitigationSpec(name="comet", nrh=250),
+        platform=PlatformSpec(
+            controller=ControllerPolicySpec(
+                scheduler="bliss", row_policy="closed_page"
+            )
+        ),
+    ),
+}
+
+
+@pytest.mark.parametrize("label", sorted(SPECS))
+def test_fast_path_is_bit_identical(label):
+    spec = SPECS[label]
+    with fastpath.forced(False):
+        legacy = execute_spec(spec)
+    with fastpath.forced(True):
+        fast = execute_spec(spec)
+    assert fast.__dict__ == legacy.__dict__
+
+
+def test_forced_restores_the_switch():
+    before = fastpath.enabled()
+    with fastpath.forced(not before):
+        assert fastpath.enabled() is (not before)
+    assert fastpath.enabled() is before
+
+
+def test_fast_scan_is_scheduler_gated():
+    # Only FR-FCFS declares SoA-scan support; every other scheduler must
+    # keep the generic candidate path (the SoA scan hard-codes FR-FCFS
+    # semantics and would silently misrank other policies' candidates).
+    from repro.controller.policies import (
+        SchedulingPolicy,
+        policy_entry,
+        scheduler_names,
+    )
+
+    assert SchedulingPolicy.SUPPORTS_FAST_SCAN is False
+    for name in scheduler_names():
+        cls = policy_entry("scheduler", name).cls
+        expected = name == "fr_fcfs"
+        assert cls.SUPPORTS_FAST_SCAN is expected, name

@@ -190,6 +190,140 @@ class TestStallPaths:
             system.run()
 
 
+class _StuckCore:
+    """Kernel-level core double: permanently blocked, counts its retries."""
+
+    def __init__(self, core_id):
+        self.core_id = core_id
+        self.finished = False
+        self.has_blocked_request = True
+        self.retries = 0
+        self.kernel_wakeup = None
+
+    def next_event_cycle(self):
+        from repro.sim.engine import NEVER
+
+        return NEVER
+
+    def step(self, now):  # pragma: no cover - blocked cores never step
+        raise AssertionError("a blocked core must retry, not step")
+
+    def retry_blocked(self, now):
+        self.retries += 1
+        return False
+
+
+class _IdleControllerDouble:
+    """Controller double with empty schedulable work but pending requests.
+
+    Models a backend that accepted requests it can never issue — the state
+    the deadlock diagnostic must make visible (``pending requests N``).
+    """
+
+    current_cycle = 0
+    mutations = 0
+
+    def __init__(self, pending=0):
+        self._pending = pending
+
+    def add_slot_free_callback(self, callback):
+        pass
+
+    def decision_crosses_boundary(self, start, end):
+        return False
+
+    def next_decision(self, cycle):
+        return None
+
+    def has_work(self):
+        return False
+
+    def pending_requests(self):
+        return self._pending
+
+
+class TestDeadlockDiagnostics:
+    """The deadlock error must carry everything needed to debug the wedge:
+    which cores are blocked, which are merely unfinished, and how many
+    requests the controllers still hold."""
+
+    def test_message_lists_core_ids_and_pending_count(self):
+        kernel = EventKernel(
+            [_StuckCore(0), _StuckCore(1)], _IdleControllerDouble(pending=3)
+        )
+        with pytest.raises(SimulationDeadlockError) as excinfo:
+            kernel.run()
+        message = str(excinfo.value)
+        assert "unfinished cores [0, 1]" in message
+        assert "blocked cores [0, 1]" in message
+        assert "pending requests 3" in message
+
+    def test_unblocked_unfinished_cores_reported_separately(self):
+        # A core that is unfinished but not blocked (it simply has no next
+        # event) must show up in `unfinished` and not in `blocked`.
+        waiting = _StuckCore(1)
+        waiting.has_blocked_request = False
+        kernel = EventKernel([_StuckCore(0), waiting], _IdleControllerDouble())
+        with pytest.raises(SimulationDeadlockError) as excinfo:
+            kernel.run()
+        message = str(excinfo.value)
+        assert "unfinished cores [0, 1]" in message
+        assert "blocked cores [0]" in message
+        assert waiting.retries == 0
+
+    def test_recover_stall_retries_each_blocked_core_exactly_once(self):
+        # One recovery sweep before the raise: every blocked core gets one
+        # retry — not zero (recoverable stalls must recover) and not more
+        # (a hopeless system must not spin).
+        cores = [_StuckCore(0), _StuckCore(1), _StuckCore(2)]
+        kernel = EventKernel(cores, _IdleControllerDouble())
+        with pytest.raises(SimulationDeadlockError):
+            kernel.run()
+        assert [core.retries for core in cores] == [1, 1, 1]
+
+
+class TestIntegerTimestamps:
+    """Events sourced from integer cycles must keep integer heap times.
+
+    ``engine._as_cycle`` is the one documented float->int conversion point;
+    everything upstream of it (core events, controller decisions, integer
+    callback cycles) must not smuggle floats onto the heap, where they
+    would compare inexactly at large cycle magnitudes."""
+
+    def test_as_cycle_is_the_ceiling(self):
+        from repro.sim.engine import _as_cycle
+
+        assert _as_cycle(10) == 10
+        assert _as_cycle(10.0) == 10
+        assert _as_cycle(10.2) == 11
+
+    def test_heap_times_from_integer_sources_stay_int(self, tiny_dram_config):
+        # Core events may be fractional by design (core cycles divided by
+        # the CPU:DRAM clock ratio); controller decisions and integer-cycle
+        # callbacks are integer sources and must stay exact.
+        from repro.sim.engine import _PRIORITY_CORE
+
+        trace = _linear_trace(n=150, bubbles=2)
+        system = System(
+            [trace], config=SystemConfig(dram=tiny_dram_config, verify_security=False)
+        )
+        kernel = EventKernel(system.cores, system.controller)
+        kernel.schedule(75, lambda now: None)  # integer-cycle callback
+        seen_types = set()
+        original = kernel._pop_live
+
+        def checking_pop():
+            for entry in kernel._heap:
+                if entry[1] != _PRIORITY_CORE:
+                    seen_types.add(type(entry[0]))
+            return original()
+
+        kernel._pop_live = checking_pop
+        kernel.run()
+        assert system.cores[0].finished
+        assert seen_types == {int}
+
+
 class TestKernelResults:
     def test_steps_counted_and_bounded(self, tiny_dram_config):
         trace = _linear_trace(n=64)
