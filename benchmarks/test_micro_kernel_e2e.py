@@ -21,6 +21,11 @@ Three whole-run scenarios cover the simulator's load profiles:
 * ``audit_streaming`` — an adversarial synth pattern with the cheap
   streaming verifier (the audit campaigns' shape).
 
+A fourth scenario, ``sampled_vs_full``, gates the sampled-fidelity executor
+(:mod:`repro.sim.sampled`): a long benign run must be >= 5x faster in
+sampled mode with IPC and max_disturbance inside the documented error
+bounds.
+
 Results land in ``benchmarks/results/BENCH_kernel.json``; the committed
 copy is the CI baseline (the micro-benchmark job re-measures and fails if
 the headline scenario regresses more than 20% against it).
@@ -29,6 +34,8 @@ the headline scenario regresses more than 20% against it).
 import json
 import time
 
+import pytest
+
 from _bench_utils import RESULTS_DIR, run_once
 from repro import fastpath
 from repro.experiment.execute import execute_spec
@@ -36,6 +43,7 @@ from repro.experiment.spec import (
     ExperimentSpec,
     MitigationSpec,
     PlatformSpec,
+    SampledConfig,
     WorkloadSpec,
 )
 
@@ -49,8 +57,9 @@ REPEATS = 2
 #: the fast path (~2x measured on an idle machine) and gets the hard >= 1.5x
 #: gate from the issue; the attack run must still win clearly; the
 #: streaming-audit run has the least skippable idle time (one hammered
-#: channel, short decision distances), so its floor only guards against the
-#: fast path ever becoming a loss.
+#: channel, short decision distances) so its win is the thinnest — after the
+#: ``_fast_demand_command`` micro-optimizations it measures 1.07-1.13x here,
+#: and its floor demands the fast path is never a loss on that shape.
 SCENARIOS = [
     (
         "single_core_attack",
@@ -78,9 +87,28 @@ SCENARIOS = [
             mitigation=MitigationSpec(name="comet", nrh=125),
             verify_security="streaming",
         ),
-        0.8,
+        1.0,
     ),
 ]
+
+#: The sampled-fidelity gate: a long benign run must be at least this much
+#: faster in sampled mode than in full fidelity while staying within the
+#: error bounds below (the tolerances mirror tests/test_sampled_fidelity.py).
+SAMPLED_SPEEDUP_FLOOR = 5.0
+SAMPLED_IPC_TOLERANCE = 0.15
+SAMPLED_DISTURBANCE_TOLERANCE = 0.5
+
+_SAMPLED_BASE = dict(
+    workload=WorkloadSpec(name="synth_uniform", num_requests=60000),
+    mitigation=MitigationSpec(name="comet", nrh=500),
+    verify_security=True,
+)
+SAMPLED_FULL_SPEC = ExperimentSpec(**_SAMPLED_BASE)
+SAMPLED_SPEC = ExperimentSpec(
+    **_SAMPLED_BASE,
+    fidelity="sampled",
+    sampled=SampledConfig(interval=8000, detailed_window=250, warmup=250),
+)
 
 
 def _timed_run(spec, fast):
@@ -123,3 +151,46 @@ def test_e2e_kernel_speedup(benchmark):
         assert speedup > floor, (
             f"{label}: whole-run speedup {speedup:.2f}x under the {floor}x floor"
         )
+
+
+def test_sampled_vs_full_speedup():
+    """Sampled fidelity must buy a real speedup on the shape it exists for.
+
+    A long benign run (the sweep-campaign steady state) in sampled mode must
+    beat the full-fidelity run by at least ``SAMPLED_SPEEDUP_FLOOR`` while
+    IPC and max_disturbance stay within the documented error bounds and the
+    security verdict is unchanged.  The measurement lands in the same
+    BENCH_kernel.json artifact as the fast-path scenarios.
+    """
+    full_seconds, full = _timed_run(SAMPLED_FULL_SPEC, fast=True)
+    sampled_seconds, sampled = _timed_run(SAMPLED_SPEC, fast=True)
+    speedup = full_seconds / sampled_seconds
+    ipc_error = abs(sampled.ipc - full.ipc) / full.ipc
+
+    artifact = (
+        json.loads(ARTIFACT.read_text())
+        if ARTIFACT.exists()
+        else {"repeats": REPEATS, "scenarios": {}}
+    )
+    artifact["scenarios"]["sampled_vs_full"] = {
+        "full_seconds": full_seconds,
+        "sampled_seconds": sampled_seconds,
+        "speedup_x": speedup,
+        "ipc_error": ipc_error,
+        "full_max_disturbance": full.max_disturbance,
+        "sampled_max_disturbance": sampled.max_disturbance,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+
+    assert sampled.security_ok == full.security_ok
+    assert ipc_error < SAMPLED_IPC_TOLERANCE, (
+        f"sampled IPC error {ipc_error:.3f} over tolerance"
+    )
+    assert sampled.max_disturbance == pytest.approx(
+        full.max_disturbance, rel=SAMPLED_DISTURBANCE_TOLERANCE, abs=2
+    )
+    assert speedup > SAMPLED_SPEEDUP_FLOOR, (
+        f"sampled_vs_full speedup {speedup:.2f}x under the "
+        f"{SAMPLED_SPEEDUP_FLOOR}x floor"
+    )

@@ -135,6 +135,39 @@ class SecurityVerifier:
             del self._disturbance[key]
 
     # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict:
+        """Plain-data checkpoint of the disturbance state and verdict."""
+        return {
+            "disturbance": list(self._disturbance.items()),
+            "violations": [
+                dict(vars(violation)) for violation in self.violations
+            ],
+            "violation_count": self.violation_count,
+            "first_violation_cycle": self.first_violation_cycle,
+            "max_disturbance": self.max_disturbance,
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Restore the state captured by :meth:`snapshot`."""
+        self._disturbance = {
+            tuple(key): value for key, value in state["disturbance"]
+        }
+        self.violations = [
+            SecurityViolation(
+                cycle=violation["cycle"],
+                victim=tuple(violation["victim"]),
+                disturbance=violation["disturbance"],
+                nrh=violation["nrh"],
+            )
+            for violation in state["violations"]
+        ]
+        self.violation_count = state["violation_count"]
+        self.first_violation_cycle = state["first_violation_cycle"]
+        self.max_disturbance = state["max_disturbance"]
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     @property

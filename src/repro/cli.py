@@ -82,6 +82,7 @@ from repro.experiment.spec import (
     ExperimentSpec,
     MitigationSpec,
     PlatformSpec,
+    SampledConfig,
     WorkloadSpec,
     expand_grid,
 )
@@ -202,6 +203,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="profile the run under cProfile and append the top hot "
         "functions plus per-component time attribution",
+    )
+    run_parser.add_argument(
+        "--fidelity",
+        default="full",
+        choices=("full", "sampled"),
+        help="execution fidelity: 'full' evaluates every command on the "
+        "event kernel; 'sampled' fast-forwards functionally between "
+        "detailed windows (approximate timing, exact mitigation state)",
+    )
+    run_parser.add_argument(
+        "--sample-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --fidelity sampled: trace entries per sampling period "
+        "(default %d)" % SampledConfig().interval,
+    )
+    run_parser.add_argument(
+        "--detailed-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --fidelity sampled: detailed entries at the end of each "
+        "period (default %d)" % SampledConfig().detailed_window,
+    )
+    run_parser.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --fidelity sampled: detailed entries before the first "
+        "fast-forward (default %d)" % SampledConfig().warmup,
     )
 
     compare_parser = subparsers.add_parser(
@@ -411,14 +444,36 @@ def _command_run(args: argparse.Namespace) -> str:
     return output + "\n\n" + report.render()
 
 
+def _sampled_from_args(args: argparse.Namespace):
+    """``(fidelity, SampledConfig | None)`` from the run-command flags."""
+    knobs = {
+        "interval": getattr(args, "sample_interval", None),
+        "detailed_window": getattr(args, "detailed_window", None),
+        "warmup": getattr(args, "warmup", None),
+    }
+    set_knobs = {key: value for key, value in knobs.items() if value is not None}
+    if getattr(args, "fidelity", "full") != "sampled":
+        if set_knobs:
+            flags = ", ".join(f"--{key.replace('_', '-')}" for key in set_knobs)
+            raise SystemExit(f"{flags} require --fidelity sampled")
+        return "full", None
+    try:
+        return "sampled", SampledConfig(**{**vars(SampledConfig()), **set_knobs})
+    except ValueError as exc:
+        raise SystemExit(f"invalid sampling configuration: {exc}")
+
+
 def _run_from_flags(args: argparse.Namespace) -> str:
     session = _session()
     policy = _policy_from_args(args)
+    fidelity, sampled = _sampled_from_args(args)
     records = session.compare(
         WorkloadSpec(name=args.workload, num_requests=args.requests),
         [args.mitigation],
         nrh=args.nrh,
         platform=PlatformSpec(channels=args.channels, controller=policy),
+        fidelity=fidelity,
+        sampled=sampled,
     )
     baseline, result = records["none"].result, records[args.mitigation].result
     normalized = result.ipc / baseline.ipc if baseline.ipc else 0.0
@@ -435,6 +490,8 @@ def _run_from_flags(args: argparse.Namespace) -> str:
     ]
     if policy is not None:
         rows[0]["policy"] = policy.label()
+    if fidelity != "full":
+        rows[0]["fidelity"] = fidelity
     return format_table(rows, title="single-core run")
 
 

@@ -248,7 +248,9 @@ class MemoryController:
         self._row_policy_closes = (
             type(self.row_policy).close_candidates is not RowPolicy.close_candidates
         )
-        #: Per-bank-key (rank, timing-table index) cache for the fast scan.
+        #: Per-bank-key (rank, timing-table index, channel, bankgroup)
+        #: cache for the fast scan: everything about a bank key that never
+        #: changes, resolved once instead of per scan.
         self._bank_meta: Dict[Tuple[int, int, int, int], tuple] = {}
 
         self.read_queue: List[MemoryRequest] = []
@@ -652,8 +654,14 @@ class MemoryController:
         if reads_active or writes_active:
             bank_reads = self._bank_reads if reads_active else _NO_PENDING
             bank_writes = self._bank_writes if writes_active else _NO_PENDING
-            bank_keys: List[Tuple[int, int, int, int]] = list(bank_reads)
-            if bank_writes:
+            if not bank_writes:
+                # Common case (reads only): scan the read index in place —
+                # no combined key list to allocate.
+                bank_keys = bank_reads
+            elif not bank_reads:
+                bank_keys = bank_writes
+            else:
+                bank_keys = list(bank_reads)
                 bank_keys.extend(
                     key for key in bank_writes if key not in bank_reads
                 )
@@ -678,6 +686,8 @@ class MemoryController:
             merged_cache = self._merged_cache
             bank_meta = self._bank_meta
             ranks = dram.ranks
+            ACT, PRE = CommandKind.ACT, CommandKind.PRE
+            RD, WR = CommandKind.RD, CommandKind.WR
 
             for bank_key in bank_keys:
                 reads = bank_reads.get(bank_key)
@@ -701,11 +711,12 @@ class MemoryController:
                     meta = bank_meta[bank_key] = (
                         rank,
                         rank.banks[(bank_key[2], bank_key[3])].index,
+                        bank_key[0],
+                        bank_key[2],
                     )
-                rank, bank_index = meta
-                bankgroup = bank_key[2]
+                rank, bank_index, channel, bankgroup = meta
 
-                bus = command_bus_free[bank_key[0]]
+                bus = command_bus_free[channel]
                 issue = cycle if cycle > bus else bus
                 row = open_rows[bank_index]
                 if row is None:
@@ -734,7 +745,7 @@ class MemoryController:
                         )
                         if allowed > issue:
                             issue = allowed
-                    kind = CommandKind.ACT
+                    kind = ACT
                 else:
                     cap_reached = col_accesses[bank_index] >= column_cap
                     first_hit: Optional[MemoryRequest] = None
@@ -784,10 +795,10 @@ class MemoryController:
                                 if ready > issue:
                                     issue = ready
                         data_latency = tCWL if is_write else tCL
-                        bus_free = data_bus_free[bank_key[0]]
+                        bus_free = data_bus_free[channel]
                         if issue + data_latency < bus_free:
                             issue = bus_free - data_latency
-                        kind = CommandKind.WR if is_write else CommandKind.RD
+                        kind = WR if is_write else RD
                     elif first_conflict is None:
                         continue
                     else:
@@ -798,7 +809,7 @@ class MemoryController:
                             issue = next_pre[bank_index]
                         if rank.blocked_until > issue:
                             issue = rank.blocked_until
-                        kind = CommandKind.PRE
+                        kind = PRE
 
                 order = (issue, request.arrival_cycle, scan_key)
                 if best_order is None or order < best_order:
@@ -1027,6 +1038,69 @@ class MemoryController:
     def _notify_slot_free(self) -> None:
         for callback in self._slot_free_callbacks:
             callback()
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict:
+        """Plain-data checkpoint of the controller and everything it owns.
+
+        Valid only at a *drained point*: in-flight :class:`MemoryRequest`
+        objects carry completion closures that cannot round-trip through
+        plain data, so all queues must be empty.  The composed snapshot
+        covers the DRAM device state (timing table, activation counters,
+        statistics) and the attached mitigation, making it a full
+        memory-system checkpoint.
+        """
+        if self.pending_requests() > 0:
+            raise RuntimeError(
+                "MemoryController.snapshot() requires empty queues "
+                f"({self.pending_requests()} requests still pending)"
+            )
+        stats = dict(vars(self.stats))
+        stats["per_core_read_latency"] = dict(self.stats.per_core_read_latency)
+        stats["per_core_reads"] = dict(self.stats.per_core_reads)
+        return {
+            "next_refresh_due": list(self.next_refresh_due.items()),
+            "extra_rank_refreshes": list(self.extra_rank_refreshes.items()),
+            "draining_writes": self._draining_writes,
+            "current_cycle": self.current_cycle,
+            "enqueue_seq": self._enqueue_seq,
+            "stats": stats,
+            "dram": self.dram.snapshot(),
+            "mitigation": (
+                self.mitigation.snapshot() if self.mitigation is not None else None
+            ),
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Restore the state captured by :meth:`snapshot`."""
+        self.next_refresh_due = {
+            tuple(key): due for key, due in state["next_refresh_due"]
+        }
+        self.extra_rank_refreshes = {
+            tuple(key): count for key, count in state["extra_rank_refreshes"]
+        }
+        self._draining_writes = state["draining_writes"]
+        self.current_cycle = state["current_cycle"]
+        self._enqueue_seq = state["enqueue_seq"]
+        for key, value in state["stats"].items():
+            if key == "per_core_read_latency":
+                self.stats.per_core_read_latency = defaultdict(int, value)
+            elif key == "per_core_reads":
+                self.stats.per_core_reads = defaultdict(int, value)
+            else:
+                setattr(self.stats, key, value)
+        self.dram.restore(state["dram"])
+        if self.mitigation is not None and state["mitigation"] is not None:
+            self.mitigation.restore(state["mitigation"])
+        self.read_queue.clear()
+        self.write_queue.clear()
+        self.preventive_queue.clear()
+        self._bank_reads.clear()
+        self._bank_writes.clear()
+        self._merged_cache.clear()
+        self.mutations += 1
 
     # ------------------------------------------------------------------ #
     # Draining (used at the end of simulations)

@@ -108,6 +108,25 @@ class RecentAggressorTable:
     def entries_snapshot(self) -> Dict[int, int]:
         return dict(self._entries)
 
+    def snapshot(self) -> dict:
+        """Plain-data checkpoint: entries (ordered), RNG state and statistics.
+
+        The RNG state is included because random eviction draws from it —
+        restoring must reproduce the identical eviction sequence.
+        """
+        return {
+            "entries": list(self._entries.items()),
+            "rng_state": self._rng.getstate(),
+            "stats": dict(vars(self.stats)),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore the state captured by :meth:`snapshot`."""
+        self._entries = {row: count for row, count in state["entries"]}
+        self._rng.setstate(state["rng_state"])
+        for key, value in state["stats"].items():
+            setattr(self.stats, key, value)
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"RecentAggressorTable(entries={self.num_entries}, "

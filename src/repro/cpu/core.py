@@ -89,6 +89,11 @@ class Core:
         self._blocked_on_queue: Optional[MemoryRequest] = None
         self._last_completion_cycle = 0.0
         self._trace_exhausted = len(trace) == 0
+        #: Trace-index budget for sampled simulation: when set, the core acts
+        #: exhausted once ``_cursor`` reaches it (outstanding reads still
+        #: drain), letting the event kernel run one detailed window and stop.
+        #: ``None`` (the default) is bit-identical to the unbounded core.
+        self.window_limit: Optional[int] = None
         #: Set by the event kernel; called whenever a state change may move
         #: this core's next event earlier (a read completion arriving).
         self.kernel_wakeup: Optional[Callable[[], None]] = None
@@ -97,9 +102,13 @@ class Core:
     # Scheduling interface used by the system simulation
     # ------------------------------------------------------------------ #
     @property
+    def _at_window_limit(self) -> bool:
+        return self.window_limit is not None and self._cursor >= self.window_limit
+
+    @property
     def finished(self) -> bool:
         return (
-            self._trace_exhausted
+            (self._trace_exhausted or self._at_window_limit)
             and not self._outstanding
             and self._blocked_on_queue is None
         )
@@ -115,7 +124,7 @@ class Core:
             return NEVER
         if self._blocked_on_queue is not None:
             return NEVER
-        if self._trace_exhausted:
+        if self._trace_exhausted or self._at_window_limit:
             return NEVER
         return self._dispatch_cycle_for_next_entry()
 
@@ -124,7 +133,7 @@ class Core:
         if self._blocked_on_queue is not None:
             self._retry_blocked_request(cycle)
             return
-        if self._trace_exhausted:
+        if self._trace_exhausted or self._at_window_limit:
             return
         entry = self.trace[self._cursor]
         self._retire_completed(cycle)
@@ -253,6 +262,42 @@ class Core:
     @property
     def has_blocked_request(self) -> bool:
         return self._blocked_on_queue is not None
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Plain-data checkpoint; valid only at a drained point.
+
+        Outstanding reads and queue-blocked requests hold completion closures
+        that cannot round-trip through plain data, so checkpoints are taken
+        between detailed windows, after the event kernel ran the system to
+        quiescence.
+        """
+        if self._outstanding or self._blocked_on_queue is not None:
+            raise RuntimeError(
+                "Core.snapshot() requires a drained core (no in-flight reads)"
+            )
+        return {
+            "cursor": self._cursor,
+            "front_cycle": self._front_cycle,
+            "dispatched_instructions": self._dispatched_instructions,
+            "last_completion_cycle": self._last_completion_cycle,
+            "trace_exhausted": self._trace_exhausted,
+            "stats": dict(vars(self.stats)),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore the state captured by :meth:`snapshot`."""
+        self._cursor = state["cursor"]
+        self._front_cycle = state["front_cycle"]
+        self._dispatched_instructions = state["dispatched_instructions"]
+        self._last_completion_cycle = state["last_completion_cycle"]
+        self._trace_exhausted = state["trace_exhausted"]
+        self._outstanding = []
+        self._blocked_on_queue = None
+        for key, value in state["stats"].items():
+            setattr(self.stats, key, value)
 
     # ------------------------------------------------------------------ #
     # Results

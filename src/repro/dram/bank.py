@@ -277,6 +277,37 @@ class Bank:
             table.next_act[i] = until
 
     # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict:
+        """Plain-data checkpoint: the bank's timing-table slot, statistics
+        and per-row activation counters."""
+        table, i = self.table, self.index
+        return {
+            "next_act": table.next_act[i],
+            "next_pre": table.next_pre[i],
+            "next_read": table.next_read[i],
+            "next_write": table.next_write[i],
+            "open_row": table.open_row[i],
+            "col_accesses": table.col_accesses[i],
+            "stats": dict(vars(self.stats)),
+            "activation_counts": dict(self.activation_counts),
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Restore the state captured by :meth:`snapshot`."""
+        table, i = self.table, self.index
+        table.next_act[i] = state["next_act"]
+        table.next_pre[i] = state["next_pre"]
+        table.next_read[i] = state["next_read"]
+        table.next_write[i] = state["next_write"]
+        table.open_row[i] = state["open_row"]
+        table.col_accesses[i] = state["col_accesses"]
+        for key, value in state["stats"].items():
+            setattr(self.stats, key, value)
+        self.activation_counts = dict(state["activation_counts"])
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def is_row_hit(self, row: int) -> bool:

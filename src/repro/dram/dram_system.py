@@ -197,6 +197,39 @@ class Rank:
         self.last_col_data_end = data_end
         return data_end
 
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict:
+        """Plain-data checkpoint of the rank-scoped state plus its banks."""
+        return {
+            "last_act_cycle": self.last_act_cycle,
+            "last_act_bankgroup": self.last_act_bankgroup,
+            "recent_act_cycles": list(self.recent_act_cycles),
+            "last_col_cycle": self.last_col_cycle,
+            "last_col_bankgroup": self.last_col_bankgroup,
+            "last_col_was_write": self.last_col_was_write,
+            "last_col_data_end": self.last_col_data_end,
+            "blocked_until": self.blocked_until,
+            "refresh_row_pointer": self.refresh_row_pointer,
+            "banks": {key: bank.snapshot() for key, bank in self.banks.items()},
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Restore the state captured by :meth:`snapshot`."""
+        self.last_act_cycle = state["last_act_cycle"]
+        self.last_act_bankgroup = state["last_act_bankgroup"]
+        self.recent_act_cycles.clear()
+        self.recent_act_cycles.extend(state["recent_act_cycles"])
+        self.last_col_cycle = state["last_col_cycle"]
+        self.last_col_bankgroup = state["last_col_bankgroup"]
+        self.last_col_was_write = state["last_col_was_write"]
+        self.last_col_data_end = state["last_col_data_end"]
+        self.blocked_until = state["blocked_until"]
+        self.refresh_row_pointer = state["refresh_row_pointer"]
+        for key, bank_state in state["banks"].items():
+            self.banks[tuple(key)].restore(bank_state)
+
     def apply_refresh(self, cycle: int) -> Tuple[int, int]:
         """Apply a rank-level REF; returns the (start_row, row_count) refreshed.
 
@@ -418,6 +451,33 @@ class DRAMSystem:
 
     def bank_for_command(self, command: Command) -> Bank:
         return self.bank(command.channel, command.rank, command.bankgroup, command.bank)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict:
+        """Plain-data checkpoint: every rank (with its banks), the per-channel
+        bus state and the global statistics.  Observers are wiring, not
+        state, and are not captured."""
+        return {
+            "ranks": {key: rank.snapshot() for key, rank in self.ranks.items()},
+            "data_bus_free": dict(self._data_bus_free),
+            "command_bus_free": dict(self._command_bus_free),
+            "stats": dict(vars(self.stats)),
+            "current_cycle": self.current_cycle,
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Restore the state captured by :meth:`snapshot`."""
+        for key, rank_state in state["ranks"].items():
+            self.ranks[tuple(key)].restore(rank_state)
+        self._data_bus_free = {ch: cycle for ch, cycle in state["data_bus_free"].items()}
+        self._command_bus_free = {
+            ch: cycle for ch, cycle in state["command_bus_free"].items()
+        }
+        for key, value in state["stats"].items():
+            setattr(self.stats, key, value)
+        self.current_cycle = state["current_cycle"]
 
     # ------------------------------------------------------------------ #
     # Aggregate statistics

@@ -27,6 +27,7 @@ _EXPORTS = {
     "WorkloadSpec": "repro.experiment.spec",
     "MitigationSpec": "repro.experiment.spec",
     "PlatformSpec": "repro.experiment.spec",
+    "SampledConfig": "repro.experiment.spec",
     "SPEC_VERSION": "repro.experiment.spec",
     "expand_grid": "repro.experiment.spec",
     "Session": "repro.experiment.session",

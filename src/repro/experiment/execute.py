@@ -17,7 +17,12 @@ from repro.controller.policies import ControllerPolicySpec
 from repro.cpu.core import CoreConfig
 from repro.cpu.trace import Trace
 from repro.dram.config import DRAMConfig
-from repro.experiment.spec import ExperimentSpec, MitigationSpec, WorkloadSpec
+from repro.experiment.spec import (
+    ExperimentSpec,
+    MitigationSpec,
+    SampledConfig,
+    WorkloadSpec,
+)
 from repro.sim.system import SimulationResult, System, SystemConfig
 
 
@@ -32,8 +37,14 @@ def run_system(
     name: Optional[str] = None,
     record_violations: bool = True,
     policy: Optional[ControllerPolicySpec] = None,
+    sampled: Optional[SampledConfig] = None,
 ) -> SimulationResult:
-    """Assemble and run one system: the common tail of every entry point."""
+    """Assemble and run one system: the common tail of every entry point.
+
+    ``sampled`` switches the run to the sampled-fidelity executor
+    (:func:`repro.sim.sampled.run_sampled`); ``None`` (the default) runs
+    full fidelity on the event kernel, bit-identical to every prior release.
+    """
     mitigations = MitigationSpec(
         name=mitigation_name, nrh=nrh, overrides=mitigation_overrides or ()
     ).build_instances(dram_config.organization.channels)
@@ -51,6 +62,10 @@ def run_system(
         config=system_config,
         name=name or traces[0].name,
     )
+    if sampled is not None:
+        from repro.sim.sampled import run_sampled
+
+        return run_sampled(system, sampled)
     return system.run()
 
 
@@ -104,6 +119,7 @@ def execute_spec(spec: ExperimentSpec) -> SimulationResult:
         name=name,
         record_violations=verify != "streaming",
         policy=spec.platform.controller,
+        sampled=spec.sampled if spec.fidelity == "sampled" else None,
     )
 
 

@@ -30,6 +30,7 @@ from repro.experiment.spec import (
     ExperimentSpec,
     MitigationSpec,
     PlatformSpec,
+    SampledConfig,
     WorkloadSpec,
     expand_grid,
 )
@@ -161,12 +162,16 @@ class Session:
         nrh: int,
         platform: Optional[PlatformSpec] = None,
         verify_security: bool = True,
+        fidelity: str = "full",
+        sampled: Optional["SampledConfig"] = None,
     ) -> Dict[str, RunRecord]:
         """Run one workload under several mitigations plus the baseline.
 
         Returns a mapping mitigation name -> record; the unprotected
         baseline is always included under ``"none"`` so callers can
-        normalize.
+        normalize.  ``fidelity``/``sampled`` select the executor per
+        :class:`~repro.experiment.spec.ExperimentSpec` (sampled runs cache
+        under distinct keys from full-fidelity runs).
         """
         if isinstance(workload, str):
             workload = WorkloadSpec(name=workload)
@@ -180,6 +185,8 @@ class Session:
                 mitigation=MitigationSpec(name=name, nrh=1 if name == "none" else nrh),
                 platform=platform or PlatformSpec(),
                 verify_security=verify_security and name != "none",
+                fidelity=fidelity,
+                sampled=sampled,
             )
             for name in names
         ]

@@ -309,6 +309,61 @@ class PlatformSpec:
 
 
 # --------------------------------------------------------------------------- #
+# Sampled fidelity
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SampledConfig:
+    """Knobs for the sampled-fidelity executor (``fidelity="sampled"``).
+
+    All three knobs are measured in *trace entries per core* (requests), the
+    unit the fast-forward executor budgets detailed windows in:
+
+    * ``warmup`` — entries simulated in full detail at the start of the run
+      (cold caches, empty queues and unwarmed sketches would otherwise bias
+      the first sampled window);
+    * ``interval`` — the sampling period: out of every ``interval`` entries,
+      ``detailed_window`` run on the event kernel and the remainder are
+      fast-forwarded functionally;
+    * ``detailed_window`` — detailed entries per period.
+
+    Security state is *never* sampled: the fast-forward path replays every
+    activation and every periodic refresh through the DRAM observer lists,
+    so mitigations and the security verifier see the exact event stream in
+    both modes — only command timing is approximated between windows.
+    """
+
+    interval: int = 2000
+    detailed_window: int = 200
+    warmup: int = 200
+
+    def __post_init__(self) -> None:
+        if self.detailed_window < 1:
+            raise ValueError("detailed_window must be >= 1")
+        if self.interval <= self.detailed_window:
+            raise ValueError(
+                "interval must exceed detailed_window "
+                f"(got interval={self.interval}, detailed_window={self.detailed_window})"
+            )
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "detailed_window": self.detailed_window,
+            "warmup": self.warmup,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SampledConfig":
+        return cls(
+            interval=data.get("interval", 2000),
+            detailed_window=data.get("detailed_window", 200),
+            warmup=data.get("warmup", 200),
+        )
+
+
+# --------------------------------------------------------------------------- #
 # The composed experiment
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -319,6 +374,14 @@ class ExperimentSpec:
     streaming attaches the verifier in its cheap max-margin mode (verdict,
     violation count, first-violation cycle and max disturbance, but no
     per-violation objects) — the mode security-audit campaigns run in.
+
+    ``fidelity`` selects the executor: ``"full"`` (default) simulates every
+    entry on the event kernel and stays bit-identical to the pre-sampling
+    code; ``"sampled"`` fast-forwards between detailed windows under the
+    :class:`SampledConfig` knobs (see EXPERIMENTS.md for the error bounds).
+    A full-fidelity spec serializes without the fidelity keys, so its
+    canonical JSON — and therefore its content hash and sweep-cache key —
+    is unchanged from earlier spec versions.
     """
 
     workload: WorkloadSpec
@@ -327,6 +390,12 @@ class ExperimentSpec:
     verify_security: Union[bool, str] = True
     #: Optional display name for the run (defaults to the workload's name).
     name: Optional[str] = None
+    #: ``"full"`` or ``"sampled"`` (fast-forward between detailed windows).
+    fidelity: str = "full"
+    #: Sampling knobs; only meaningful (and only serialized) when
+    #: ``fidelity="sampled"``.  ``None`` under sampled fidelity selects the
+    #: :class:`SampledConfig` defaults.
+    sampled: Optional[SampledConfig] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.verify_security, bool) and self.verify_security != "streaming":
@@ -334,6 +403,17 @@ class ExperimentSpec:
                 "verify_security must be True, False or 'streaming', "
                 f"got {self.verify_security!r}"
             )
+        if self.fidelity not in ("full", "sampled"):
+            raise ValueError(
+                f"fidelity must be 'full' or 'sampled', got {self.fidelity!r}"
+            )
+        if self.fidelity == "sampled":
+            if self.sampled is None:
+                object.__setattr__(self, "sampled", SampledConfig())
+        elif self.sampled is not None:
+            # Normalized away so the two spellings of a full-fidelity spec
+            # hash (and cache) identically.
+            object.__setattr__(self, "sampled", None)
 
     def run_name(self) -> str:
         return self.name or self.workload.default_run_name()
@@ -342,7 +422,7 @@ class ExperimentSpec:
     # Serialization
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "spec_version": SPEC_VERSION,
             "name": self.name,
             "verify_security": self.verify_security,
@@ -350,6 +430,10 @@ class ExperimentSpec:
             "mitigation": self.mitigation.to_dict(),
             "platform": self.platform.to_dict(),
         }
+        if self.fidelity != "full":
+            data["fidelity"] = self.fidelity
+            data["sampled"] = self.sampled.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
@@ -359,12 +443,15 @@ class ExperimentSpec:
                 f"spec_version {version} is newer than this build supports "
                 f"({SPEC_VERSION}); upgrade repro"
             )
+        sampled = data.get("sampled")
         return cls(
             workload=WorkloadSpec.from_dict(data["workload"]),
             mitigation=MitigationSpec.from_dict(data["mitigation"]),
             platform=PlatformSpec.from_dict(data.get("platform", {})),
             verify_security=data.get("verify_security", True),
             name=data.get("name"),
+            fidelity=data.get("fidelity", "full"),
+            sampled=SampledConfig.from_dict(sampled) if sampled is not None else None,
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:

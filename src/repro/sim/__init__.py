@@ -13,6 +13,8 @@
 * :mod:`repro.sim.runner` — convenience functions used by the examples and
   the benchmark harnesses: run one workload under one mitigation, compare
   mitigations, sweep configurations.
+* :mod:`repro.sim.sampled` — the sampled-fidelity executor: functional
+  fast-forward between detailed windows (``fidelity="sampled"`` specs).
 """
 
 from repro.sim.engine import EventKernel, SimulationDeadlockError
@@ -33,9 +35,11 @@ from repro.sim.runner import (
     compare_single_core,
     normalized_ipc,
 )
+from repro.sim.sampled import run_sampled
 from repro.sim.sweep import SweepPoint, SweepRunner, execute_point
 
 __all__ = [
+    "run_sampled",
     "EventKernel",
     "SimulationDeadlockError",
     "System",

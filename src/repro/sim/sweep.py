@@ -49,7 +49,11 @@ from repro.sim.system import SimulationResult
 #: v5: the pluggable controller-policy layer — :class:`SweepPoint` grew
 #: scheduler/row-policy/refresh-policy axes and the canonical spec JSON
 #: grew ``platform.controller`` (old keys would alias new configurations).
-SWEEP_CACHE_VERSION = 5
+#: v6: sampled-fidelity execution — the canonical spec JSON grew
+#: ``fidelity``/``sampled`` (emitted only when non-default, so full-fidelity
+#: hashes are unchanged; the bump guards against any earlier cache that
+#: predates the fidelity axis existing at all).
+SWEEP_CACHE_VERSION = 6
 
 _CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 

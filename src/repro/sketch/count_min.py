@@ -20,7 +20,7 @@ individual counters) and bulk reset (CoMeT's periodic counter reset).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.sketch.hashes import HashFamily, ShiftMaskHashFamily
 
@@ -163,6 +163,23 @@ class CountMinSketch:
     def counters_snapshot(self) -> List[List[int]]:
         """Deep copy of the counter array."""
         return [list(row) for row in self._counters]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data checkpoint of the mutable sketch state.
+
+        Geometry, hashing and the saturation ceiling are construction-time
+        constants and are not captured; ``restore`` assumes an identically
+        configured instance.
+        """
+        return {
+            "counters": [list(row) for row in self._counters],
+            "total_updates": self.total_updates,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore the state captured by :meth:`snapshot`."""
+        self._counters = [list(row) for row in state["counters"]]
+        self.total_updates = state["total_updates"]
 
     def max_counter(self) -> int:
         """Largest counter value currently stored."""

@@ -19,7 +19,7 @@ that growth is what drives Graphene's area explosion at low thresholds
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 
 @dataclass
@@ -123,6 +123,24 @@ class MisraGriesSummary:
 
     def tracked_items(self) -> Dict[int, int]:
         return dict(self._entries)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data checkpoint of the mutable summary state.
+
+        Entry insertion order is preserved (``_find_entry_at_spillover``
+        scans in insertion order, so it is behaviorally significant).
+        """
+        return {
+            "entries": list(self._entries.items()),
+            "spillover": self.spillover,
+            "total_updates": self.total_updates,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore the state captured by :meth:`snapshot`."""
+        self._entries = {key: count for key, count in state["entries"]}
+        self.spillover = state["spillover"]
+        self.total_updates = state["total_updates"]
 
     @property
     def storage_bits(self) -> int:
