@@ -1,0 +1,16 @@
+"""Registered :class:`~repro.campaign.queue.WorkQueue` implementations.
+
+Importing this package registers all three backends:
+
+* ``memory`` — in-process FIFO/priority heap; fastest, not persistent.
+* ``directory`` — one JSON file per item, claims via atomic ``os.rename``;
+  any process (or NFS-sharing host) pointed at the directory can steal work.
+* ``sqlite`` — single-file SQLite database, claims inside ``BEGIN
+  IMMEDIATE`` transactions; the recommended multi-process backend.
+"""
+
+from repro.campaign.backends.directory import DirectoryQueue
+from repro.campaign.backends.memory import MemoryQueue
+from repro.campaign.backends.sqlite import SqliteQueue
+
+__all__ = ["DirectoryQueue", "MemoryQueue", "SqliteQueue"]

@@ -1,0 +1,187 @@
+"""Directory-backed claim-file queue: one JSON file per item.
+
+Every item lives as ``<state>/<key>.json`` under the queue root, where
+``state`` is one of ``pending`` / ``claimed`` / ``done``.  The *claim* is an
+atomic ``os.rename`` of the item file from ``pending/`` to ``claimed/`` —
+POSIX guarantees exactly one of any number of concurrent renamers wins, so
+two workers can never be issued the same item.  The winner then publishes a
+lease sidecar (``leases/<key>.json``: worker id + absolute deadline) and
+``reclaim_expired`` renames items whose lease has passed — or whose sidecar
+is missing, i.e. the claimer died in the instant between winning the rename
+and writing the lease — back to ``pending/``.
+
+Any process that can see the directory (including over a shared
+filesystem) can steal work; the only coordination primitive used is
+rename atomicity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Union
+
+from repro.campaign.queue import (
+    DEFAULT_LEASE,
+    QueueCounts,
+    WorkItem,
+    WorkQueue,
+    register_backend,
+)
+from repro.core.fsutil import atomic_write_text
+
+_STATES = ("pending", "claimed", "done")
+
+
+@register_backend
+class DirectoryQueue(WorkQueue):
+    """Claim-file queue over a plain directory (multi-process, no deps)."""
+
+    name = "directory"
+    description = (
+        "one JSON file per item, claims via atomic rename; "
+        "multi-process / shared-filesystem work stealing"
+    )
+    persistent = True
+
+    def __init__(
+        self, path: Union[str, Path], clock: Callable[[], float] = time.time
+    ) -> None:
+        super().__init__(clock)
+        self.root = Path(path)
+        for state in _STATES:
+            (self.root / state).mkdir(parents=True, exist_ok=True)
+        (self.root / "leases").mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _item_path(self, state: str, key: str) -> Path:
+        return self.root / state / f"{key}.json"
+
+    def _lease_path(self, key: str) -> Path:
+        return self.root / "leases" / f"{key}.json"
+
+    def _exists(self, key: str) -> bool:
+        return any(self._item_path(state, key).exists() for state in _STATES)
+
+    @staticmethod
+    def _load_item(path: Path) -> Optional[WorkItem]:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            return WorkItem(
+                key=data["key"],
+                payload=data["payload"],
+                priority=data["priority"],
+                seq=data["seq"],
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            # Mid-rename disappearance or an unreadable file: skip it; item
+            # files are written atomically so this is always a race, not
+            # corruption.
+            return None
+
+    def _next_seq(self) -> int:
+        seq_path = self.root / "_seq"
+        try:
+            seq = int(seq_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            seq = 0
+        seq += 1
+        atomic_write_text(seq_path, str(seq))
+        return seq
+
+    def _pending_items(self) -> List[WorkItem]:
+        items = []
+        for path in (self.root / "pending").glob("*.json"):
+            item = self._load_item(path)
+            if item is not None:
+                items.append(item)
+        items.sort(key=self.order_key)
+        return items
+
+    # ------------------------------------------------------------------ #
+    # WorkQueue interface
+    # ------------------------------------------------------------------ #
+    def put(self, items: Iterable[WorkItem]) -> int:
+        added = 0
+        for item in items:
+            if self._exists(item.key):
+                continue
+            item = item.with_seq(self._next_seq())
+            atomic_write_text(
+                self._item_path("pending", item.key),
+                json.dumps(
+                    {
+                        "key": item.key,
+                        "payload": item.payload,
+                        "priority": item.priority,
+                        "seq": item.seq,
+                    },
+                    sort_keys=True,
+                ),
+            )
+            added += 1
+        return added
+
+    def claim(self, worker: str, lease: float = DEFAULT_LEASE) -> Optional[WorkItem]:
+        for item in self._pending_items():
+            source = self._item_path("pending", item.key)
+            target = self._item_path("claimed", item.key)
+            try:
+                os.rename(source, target)  # the atomic claim token
+            except OSError:
+                continue  # another claimer won this item; try the next
+            atomic_write_text(
+                self._lease_path(item.key),
+                json.dumps(
+                    {"worker": worker, "deadline": self._clock() + lease},
+                    sort_keys=True,
+                ),
+            )
+            return item
+        return None
+
+    def _lease(self, key: str) -> Optional[dict]:
+        try:
+            return json.loads(self._lease_path(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    def ack(self, key: str, worker: str) -> bool:
+        lease = self._lease(key)
+        if lease is None or lease.get("worker") != worker:
+            return False  # reclaimed (and possibly re-issued) — stale worker
+        try:
+            os.rename(self._item_path("claimed", key), self._item_path("done", key))
+        except OSError:
+            return False
+        self._lease_path(key).unlink(missing_ok=True)
+        return True
+
+    def reclaim_expired(self) -> int:
+        now = self._clock()
+        moved = 0
+        for path in (self.root / "claimed").glob("*.json"):
+            key = path.stem
+            lease = self._lease(key)
+            # A missing lease means the claimer died between winning the
+            # rename and publishing the sidecar: safe to re-issue (execution
+            # is deterministic and the store write idempotent).
+            if lease is not None and lease.get("deadline", 0) > now:
+                continue
+            try:
+                os.rename(path, self._item_path("pending", key))
+            except OSError:
+                continue  # acked or reclaimed concurrently
+            self._lease_path(key).unlink(missing_ok=True)
+            moved += 1
+        return moved
+
+    def counts(self) -> QueueCounts:
+        pending, claimed, done = (
+            sum(1 for _ in (self.root / state).glob("*.json")) for state in _STATES
+        )
+        return QueueCounts(pending, claimed, done)

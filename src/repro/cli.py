@@ -50,6 +50,24 @@ through a :class:`~repro.experiment.session.Session`.
     verdicts and disturbance margins (``--out`` archives the SecurityReport
     JSON).
 
+``python -m repro.cli campaign run --name nightly --workloads 429.mcf --mitigations comet para --nrh 250 125 --store DIR --backend sqlite``
+    Run (or resume) a persistent campaign: grid cells missing from the
+    content-addressed result store are queued through the chosen backend
+    and fanned across workers; a killed run resumes with zero
+    recomputation of completed cells.
+
+``python -m repro.cli campaign status --store DIR``
+    Report completed/total progress for every campaign checkpointed in a
+    store — no simulation, no queue needed.
+
+``python -m repro.cli campaign query --store DIR --mitigation comet``
+    Query stored results (flat summary rows) straight from the record
+    files.
+
+``python -m repro.cli serve --store DIR --port 8080``
+    Serve the read-only JSON API (``/health``, ``/records/<hash>``,
+    ``/query``, ``/campaigns``) over a store.
+
 ``python -m repro.cli area --nrh 125``
     Print the storage/area comparison (Table 4 row) for a threshold.
 """
@@ -346,10 +364,118 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="bypass the on-disk result cache"
     )
 
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="persistent, resumable experiment campaigns (store + work queue)",
+    )
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    crun = campaign_sub.add_parser(
+        "run", help="run (or resume) a campaign grid through a queue backend"
+    )
+    crun.add_argument(
+        "--campaign-file", default=None, metavar="FILE",
+        help="serialized CampaignSpec JSON (overrides the grid flags)",
+    )
+    crun.add_argument("--name", default="campaign", help="campaign name")
+    crun.add_argument(
+        "--workloads", nargs="+", default=["429.mcf"], help="workload names"
+    )
+    crun.add_argument(
+        "--mitigations", nargs="+", default=["comet"],
+        choices=mitigation_names(), help="mitigation mechanisms",
+    )
+    crun.add_argument(
+        "--nrh", type=int, nargs="+", default=[125], help="RowHammer thresholds"
+    )
+    crun.add_argument(
+        "--requests", type=int, default=8000, help="trace length in requests"
+    )
+    crun.add_argument("--cores", type=int, default=1, help="cores per cell")
+    crun.add_argument(
+        "--channels", type=_channel_count, nargs="+", default=[1],
+        help="memory channel counts (grid axis)",
+    )
+    crun.add_argument(
+        "--priority", type=int, default=0, help="base queue priority of every cell"
+    )
+    crun.add_argument(
+        "--budget", type=int, default=None,
+        help="max cells executed by this invocation (resume later for the rest)",
+    )
+    _add_campaign_store_arguments(crun)
+    crun.add_argument(
+        "--backend", default="sqlite", choices=_campaign_backend_names(),
+        help="work-queue backend (default: sqlite; see `repro list`)",
+    )
+    crun.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU; 0 runs inline)",
+    )
+    crun.add_argument(
+        "--lease", type=float, default=60.0,
+        help="seconds a claimed cell is protected before idle runners reclaim it",
+    )
+
+    cstatus = campaign_sub.add_parser(
+        "status", help="report store-backed progress of checkpointed campaigns"
+    )
+    _add_campaign_store_arguments(cstatus)
+    cstatus.add_argument(
+        "--campaign", default=None, metavar="ID",
+        help="campaign id (or unambiguous prefix); default: every campaign",
+    )
+
+    cquery = campaign_sub.add_parser(
+        "query", help="query stored results without simulating"
+    )
+    _add_campaign_store_arguments(cquery)
+    cquery.add_argument("--workload", default=None, help="filter by workload name")
+    cquery.add_argument("--mitigation", default=None, help="filter by mechanism")
+    cquery.add_argument("--nrh", type=int, default=None, help="filter by threshold")
+    cquery.add_argument(
+        "--spec-hash", default=None, metavar="HASH",
+        help="print the one full record for a spec hash instead of summaries",
+    )
+    cquery.add_argument(
+        "--limit", type=int, default=None, help="maximum summary rows"
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve the read-only campaign-store JSON API over HTTP"
+    )
+    _add_campaign_store_arguments(serve_parser)
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8123, help="bind port (0 picks a free one)"
+    )
+
     area_parser = subparsers.add_parser("area", help="print the Table 4 area comparison")
     area_parser.add_argument("--nrh", type=int, default=125, help="RowHammer threshold")
 
     return parser
+
+
+def _campaign_backend_names():
+    from repro.campaign import queue_backend_names
+
+    return queue_backend_names()
+
+
+def _add_campaign_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="campaign result-store directory (default: $REPRO_CAMPAIGN_STORE "
+        "or ~/.cache/repro/campaigns)",
+    )
+
+
+def _store_from_args(args: argparse.Namespace):
+    from repro.campaign import ResultStore, default_store_dir
+
+    return ResultStore(Path(args.store) if args.store else default_store_dir())
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -418,6 +544,15 @@ def _command_list(_args: argparse.Namespace) -> str:
         format_table(
             policy_rows,
             title="controller policies (--scheduler / --row-policy / --refresh-policy)",
+        )
+    )
+
+    from repro.campaign import queue_backend_catalog
+
+    sections.append(
+        format_table(
+            queue_backend_catalog(),
+            title="campaign queue backends (repro campaign run --backend)",
         )
     )
     return "\n\n".join(sections)
@@ -665,6 +800,128 @@ def _command_audit(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _campaign_spec_from_args(args: argparse.Namespace):
+    from repro.experiment.spec import CampaignSpec
+
+    if args.campaign_file is not None:
+        path = Path(args.campaign_file)
+        try:
+            return CampaignSpec.from_json(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise SystemExit(f"campaign file not found: {path}")
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(f"invalid campaign spec {path}: {exc}")
+    try:
+        return CampaignSpec(
+            name=args.name,
+            workloads=tuple(args.workloads),
+            mitigations=tuple(args.mitigations),
+            nrhs=tuple(args.nrh),
+            num_requests=args.requests,
+            num_cores=args.cores,
+            channels=tuple(args.channels),
+            priority=args.priority,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"invalid campaign grid: {exc}")
+
+
+def _command_campaign(args: argparse.Namespace) -> str:
+    handlers = {
+        "run": _command_campaign_run,
+        "status": _command_campaign_status,
+        "query": _command_campaign_query,
+    }
+    return handlers[args.campaign_command](args)
+
+
+def _command_campaign_run(args: argparse.Namespace) -> str:
+    from repro.campaign import CampaignRunner
+
+    campaign = _campaign_spec_from_args(args)
+    store = _store_from_args(args)
+    runner = CampaignRunner(
+        campaign,
+        store=store,
+        queue=args.backend,
+        max_workers=args.workers,
+        lease=args.lease,
+        budget=args.budget,
+    )
+    status = runner.run()
+    row = status.as_row()
+    row["backend"] = args.backend
+    row["store"] = str(store.root)
+    verdict = "finished" if status.finished else "resumable (budget/kill)"
+    return format_table([row], title=f"campaign {campaign.name}: {verdict}")
+
+
+def _command_campaign_status(args: argparse.Namespace) -> str:
+    from repro.campaign.runner import status_from_state
+
+    store = _store_from_args(args)
+    campaign_ids = store.list_campaigns()
+    if args.campaign is not None:
+        campaign_ids = [c for c in campaign_ids if c.startswith(args.campaign)]
+        if not campaign_ids:
+            raise SystemExit(f"no campaign matching {args.campaign!r} in {store.root}")
+    rows = []
+    for campaign_id in campaign_ids:
+        state = store.load_campaign(campaign_id)
+        if state is None:
+            continue
+        status = status_from_state(store, state)
+        row = status.as_row()
+        del row["pending"], row["claimed"], row["executed"]
+        row["finished"] = status.finished
+        rows.append(row)
+    if not rows:
+        return f"no campaigns checkpointed in {store.root}"
+    return format_table(
+        rows, title=f"campaigns in {store.root} ({len(store)} records)"
+    )
+
+
+def _command_campaign_query(args: argparse.Namespace) -> str:
+    store = _store_from_args(args)
+    if args.spec_hash is not None:
+        record = store.get_record(args.spec_hash)
+        if record is None:
+            raise SystemExit(f"no record for spec hash {args.spec_hash}")
+        return record.to_json()
+    rows = store.query(
+        workload=args.workload,
+        mitigation=args.mitigation,
+        nrh=args.nrh,
+        limit=args.limit,
+    )
+    if not rows:
+        return f"no matching records in {store.root}"
+    for row in rows:
+        row["spec_hash"] = row["spec_hash"][:12]
+        row["ipc"] = round(row["ipc"], 4)
+        campaign = row.pop("campaign")
+        row["campaign"] = campaign[:12] if campaign else "-"
+    return format_table(rows, title=f"{len(rows)} stored results ({store.root})")
+
+
+def _command_serve(args: argparse.Namespace) -> str:
+    from repro.campaign import make_server
+
+    store = _store_from_args(args)
+    server = make_server(store, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    # Printed (and flushed) before serving so scripts can wait on readiness.
+    print(f"serving {store.root} at http://{host}:{port} (Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+    return "stopped"
+
+
 def _command_area(args: argparse.Namespace) -> str:
     rows = [
         comet_area_report(args.nrh).as_row(),
@@ -682,6 +939,8 @@ _COMMANDS = {
     "attack": _command_attack,
     "sweep": _command_sweep,
     "audit": _command_audit,
+    "campaign": _command_campaign,
+    "serve": _command_serve,
     "area": _command_area,
 }
 

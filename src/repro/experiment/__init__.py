@@ -23,6 +23,7 @@ package init here would turn that into an import cycle.
 from __future__ import annotations
 
 _EXPORTS = {
+    "CampaignSpec": "repro.experiment.spec",
     "ExperimentSpec": "repro.experiment.spec",
     "WorkloadSpec": "repro.experiment.spec",
     "MitigationSpec": "repro.experiment.spec",

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING, 
 
 from repro.experiment.codec import decode_value, encode_value
 from repro.experiment.spec import (
+    CampaignSpec,
     ExperimentSpec,
     MitigationSpec,
     PlatformSpec,
@@ -101,6 +102,11 @@ class Session:
     cache_dir:
         On-disk result cache directory (``None``: ``$REPRO_SWEEP_CACHE`` or
         ``~/.cache/repro/sweeps``); ``use_cache=False`` disables caching.
+    store:
+        Optional campaign :class:`~repro.campaign.store.ResultStore` (or a
+        path to open one at).  When given, spec runs cache through the
+        store's versioned RunRecord JSONs instead of the pickle cache, so
+        interactive runs, sweeps and campaigns all share one database.
     """
 
     def __init__(
@@ -108,11 +114,18 @@ class Session:
         max_workers: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         use_cache: bool = True,
+        store: Optional[Any] = None,
     ) -> None:
+        if isinstance(store, (str, Path)):
+            from repro.campaign.store import ResultStore
+
+            store = ResultStore(store)
+        self._store = store
         self._runner = SweepRunner(
             max_workers=max_workers,
             cache_dir=Path(cache_dir) if cache_dir is not None else None,
             use_cache=use_cache,
+            store=store,
         )
 
     # ------------------------------------------------------------------ #
@@ -206,16 +219,66 @@ class Session:
 
         return run_audit(session=self, **kwargs)
 
+    def campaign(
+        self,
+        campaign: "CampaignSpec",
+        store: Optional[Any] = None,
+        backend: Union[str, Any] = "memory",
+        lease: float = 60.0,
+        budget: Optional[int] = None,
+        **runner_kwargs,
+    ):
+        """Run a persistent, resumable campaign through this session.
+
+        ``campaign`` is a :class:`~repro.experiment.spec.CampaignSpec`;
+        ``store`` a :class:`~repro.campaign.store.ResultStore` or path
+        (defaults to this session's store, which must then be set);
+        ``backend`` a queue backend name (``memory`` / ``directory`` /
+        ``sqlite``) or instance.  Execution fans across this session's
+        worker count and lands in the store; re-invoking with the same
+        arguments resumes, recomputing nothing that already completed.
+        Returns the final :class:`~repro.campaign.runner.CampaignStatus`.
+        """
+        from repro.campaign.runner import CampaignRunner
+
+        store = store if store is not None else self._store
+        if store is None:
+            raise ValueError(
+                "Session.campaign() needs a result store: pass store=... here "
+                "or construct the Session with one"
+            )
+        runner = CampaignRunner(
+            campaign,
+            store=store,
+            queue=backend,
+            max_workers=self._runner.max_workers,
+            lease=lease,
+            budget=budget,
+            **runner_kwargs,
+        )
+        return runner.run()
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property
+    def store(self) -> Optional[Any]:
+        """The campaign result store spec runs cache through (or ``None``)."""
+        return self._store
+
+    @property
     def cache_hits(self) -> int:
-        return self._runner.cache.hits if self._runner.cache is not None else 0
+        hits = self._runner.cache.hits if self._runner.cache is not None else 0
+        if self._store is not None:
+            hits += self._store.hits
+        return hits
 
     @property
     def cache_misses(self) -> int:
-        return self._runner.cache.misses if self._runner.cache is not None else 0
+        misses = self._runner.cache.misses if self._runner.cache is not None else 0
+        if self._store is not None:
+            misses += self._store.misses
+        return misses
 
     def _provenance(self, spec: ExperimentSpec, from_cache: bool) -> Dict[str, Any]:
         from repro import __version__

@@ -471,6 +471,153 @@ class ExperimentSpec:
 
 
 # --------------------------------------------------------------------------- #
+# Campaigns
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative campaign: a grid of experiments plus priority and budget.
+
+    Where an :class:`ExperimentSpec` describes one run, a ``CampaignSpec``
+    describes a whole persistent evaluation — the grid the
+    :class:`~repro.campaign.runner.CampaignRunner` expands into work-queue
+    items and drains into a :class:`~repro.campaign.store.ResultStore`.
+    Like every spec it is frozen, hashable and JSON-round-trippable;
+    ``campaign_id()`` (the sha256 of the canonical JSON) names the campaign
+    in checkpoints, provenance and the serve API.
+
+    ``priority`` is the base queue priority of every cell; ``priorities``
+    maps mitigation names to overrides (higher drains first).  Baseline
+    (``"none"``) cells always outrank everything else — every normalized
+    metric needs them, so they are computed first.  ``budget`` caps how
+    many cells one ``run()`` invocation may *execute* (completed cells cost
+    nothing); ``None`` is unlimited.
+    """
+
+    name: str
+    workloads: Tuple[str, ...]
+    mitigations: Tuple[str, ...]
+    nrhs: Tuple[int, ...]
+    num_requests: int = 8000
+    num_cores: int = 1
+    channels: Tuple[int, ...] = (1,)
+    include_baseline: bool = True
+    priority: int = 0
+    #: Per-mitigation priority overrides, e.g. ``{"comet": 10}``.
+    priorities: _Pairs = ()
+    #: Maximum cells executed per ``run()`` invocation (``None``: unlimited).
+    budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "mitigations", tuple(self.mitigations))
+        object.__setattr__(self, "nrhs", tuple(int(n) for n in self.nrhs))
+        object.__setattr__(self, "channels", tuple(int(c) for c in self.channels))
+        object.__setattr__(self, "priorities", _as_pairs(self.priorities))
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        if not self.workloads or not self.mitigations or not self.nrhs:
+            raise ValueError("campaign grid axes must be non-empty")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("budget must be >= 0 (None for unlimited)")
+
+    def priorities_dict(self) -> Dict[str, int]:
+        return _pairs_to_dict(self.priorities)
+
+    def cells(self) -> List[Tuple["ExperimentSpec", int]]:
+        """The campaign's grid: ``(spec, queue priority)`` per cell.
+
+        Expansion goes through :func:`expand_grid`, so the cell set — and
+        every cell's content hash — is identical to what a one-shot sweep
+        of the same axes would produce; campaigns and sweeps share cache
+        entries in a shared store.
+        """
+        priorities = self.priorities_dict()
+        baseline_priority = (
+            max([self.priority, *priorities.values()]) + 1
+            if self.include_baseline
+            else self.priority
+        )
+        specs = expand_grid(
+            workloads=list(self.workloads),
+            mitigations=list(self.mitigations),
+            nrhs=list(self.nrhs),
+            num_requests=self.num_requests,
+            num_cores=self.num_cores,
+            include_baseline=self.include_baseline,
+            channels=list(self.channels),
+        )
+        cells = []
+        for spec in specs:
+            if spec.mitigation.name == "none":
+                cells.append((spec, baseline_priority))
+            else:
+                cells.append(
+                    (spec, priorities.get(spec.mitigation.name, self.priority))
+                )
+        return cells
+
+    def total_cells(self) -> int:
+        return len(self.cells())
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec_version": SPEC_VERSION,
+            "name": self.name,
+            "workloads": list(self.workloads),
+            "mitigations": list(self.mitigations),
+            "nrhs": list(self.nrhs),
+            "num_requests": self.num_requests,
+            "num_cores": self.num_cores,
+            "channels": list(self.channels),
+            "include_baseline": self.include_baseline,
+            "priority": self.priority,
+            "priorities": {k: encode_value(v) for k, v in self.priorities},
+            "budget": self.budget,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        version = data.get("spec_version", SPEC_VERSION)
+        if version > SPEC_VERSION:
+            raise ValueError(
+                f"spec_version {version} is newer than this build supports "
+                f"({SPEC_VERSION}); upgrade repro"
+            )
+        return cls(
+            name=data["name"],
+            workloads=tuple(data["workloads"]),
+            mitigations=tuple(data["mitigations"]),
+            nrhs=tuple(data["nrhs"]),
+            num_requests=data.get("num_requests", 8000),
+            num_cores=data.get("num_cores", 1),
+            channels=tuple(data.get("channels", (1,))),
+            include_baseline=data.get("include_baseline", True),
+            priority=data.get("priority", 0),
+            priorities={
+                k: decode_value(v) for k, v in data.get("priorities", {}).items()
+            },
+            budget=data.get("budget"),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def campaign_id(self) -> str:
+        """sha256 over the canonical JSON; names the campaign durably."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
 # Grid expansion
 # --------------------------------------------------------------------------- #
 def expand_grid(

@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.controller.policies import ControllerPolicySpec, normalize_policy
+from repro.core.fsutil import atomic_write_bytes
 from repro.cpu.core import CoreConfig
 from repro.dram.config import DRAMConfig
 from repro.experiment.spec import ExperimentSpec, WorkloadSpec
@@ -215,14 +216,12 @@ class SweepCache:
         return result
 
     def put(self, key: str, result: SimulationResult) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        # Write-then-rename so a crashed worker never leaves a torn file
-        # behind for another process to load.
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("wb") as handle:
-            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
+        # Write-then-rename (shared fsutil helper, fsynced) so a crashed
+        # worker never leaves a torn file behind for another process to load.
+        atomic_write_bytes(
+            self._path(key),
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+        )
 
 
 def default_cache_dir() -> Path:
@@ -274,6 +273,14 @@ class SweepRunner:
         Result cache directory.  ``None`` uses ``$REPRO_SWEEP_CACHE`` or
         ``~/.cache/repro/sweeps``; pass ``use_cache=False`` to disable
         caching entirely.
+    store:
+        Optional :class:`~repro.campaign.store.ResultStore` (duck-typed:
+        anything with ``get_result(spec)`` / ``put_result(spec, result)``).
+        When given, *spec* items cache through the store's versioned,
+        checksummed RunRecord JSONs instead of the pickle cache — the same
+        database campaigns write, so a sweep re-run after a campaign (or
+        vice versa) recomputes nothing.  Legacy :class:`SweepPoint` items
+        keep using the pickle cache.
     """
 
     def __init__(
@@ -283,10 +290,12 @@ class SweepRunner:
         max_workers: Optional[int] = None,
         cache_dir: Optional[Path] = None,
         use_cache: bool = True,
+        store: Optional[Any] = None,
     ) -> None:
         self.dram_config = dram_config or default_experiment_config()
         self.core_config = core_config
         self.max_workers = (os.cpu_count() or 1) if max_workers is None else max_workers
+        self.store = store
         self.cache: Optional[SweepCache] = (
             SweepCache(cache_dir or default_cache_dir()) if use_cache else None
         )
@@ -352,11 +361,16 @@ class SweepRunner:
         return point_cache_key(point, self.dram_config, self.core_config)
 
     def _cache_get(self, point: SweepPoint) -> Optional[SimulationResult]:
+        if self.store is not None and isinstance(point, ExperimentSpec):
+            return self.store.get_result(point)
         if self.cache is None:
             return None
         return self.cache.get(self._key(point))
 
     def _cache_put(self, point: SweepPoint, result: SimulationResult) -> None:
+        if self.store is not None and isinstance(point, ExperimentSpec):
+            self.store.put_result(point, result)
+            return
         if self.cache is not None:
             self.cache.put(self._key(point), result)
 

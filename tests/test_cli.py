@@ -149,3 +149,117 @@ class TestCommands:
         output = capsys.readouterr().out
         for name in ("comet", "graphene", "hydra", "para", "rega", "blockhammer"):
             assert name in output
+
+
+class TestCampaignCommands:
+    def test_list_includes_queue_backends(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "campaign queue backends" in output
+        for backend in ("memory", "directory", "sqlite"):
+            assert backend in output
+
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_campaign_run_defaults(self):
+        args = build_parser().parse_args(["campaign", "run"])
+        assert args.backend == "sqlite"
+        assert args.mitigations == ["comet"]
+        assert args.budget is None
+
+    def test_campaign_run_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run", "--backend", "rabbitmq"])
+
+    def test_campaign_run_status_query_round_trip(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        exit_code = main(
+            [
+                "campaign", "run",
+                "--name", "clitest",
+                "--workloads", "synth_uniform",
+                "--mitigations", "para",
+                "--nrh", "250",
+                "--requests", "200",
+                "--store", store,
+                "--workers", "0",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "campaign clitest: finished" in output
+        assert "2/2" in output
+
+        assert main(["campaign", "status", "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "clitest" in output
+        assert "2/2" in output and "yes" in output
+
+        assert main(["campaign", "query", "--store", store,
+                     "--mitigation", "para"]) == 0
+        output = capsys.readouterr().out
+        assert "synth_uniform" in output and "para" in output
+
+        # Re-running the same grid resumes: everything is already stored.
+        assert main(
+            [
+                "campaign", "run",
+                "--name", "clitest",
+                "--workloads", "synth_uniform",
+                "--mitigations", "para",
+                "--nrh", "250",
+                "--requests", "200",
+                "--store", store,
+                "--workers", "0",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "finished" in output
+
+    def test_campaign_run_from_file(self, capsys, tmp_path):
+        from repro.experiment.spec import CampaignSpec
+
+        campaign = CampaignSpec(
+            name="filetest",
+            workloads=("synth_uniform",),
+            mitigations=("para",),
+            nrhs=(250,),
+            num_requests=200,
+            include_baseline=False,
+        )
+        path = tmp_path / "campaign.json"
+        path.write_text(campaign.to_json())
+        exit_code = main(
+            [
+                "campaign", "run",
+                "--campaign-file", str(path),
+                "--store", str(tmp_path / "store"),
+                "--backend", "memory",
+                "--workers", "0",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "campaign filetest: finished" in output
+        assert "1/1" in output
+
+    def test_campaign_run_rejects_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="invalid campaign spec"):
+            main(["campaign", "run", "--campaign-file", str(bad),
+                  "--store", str(tmp_path / "store")])
+        with pytest.raises(SystemExit, match="campaign file not found"):
+            main(["campaign", "run", "--campaign-file", str(tmp_path / "no.json"),
+                  "--store", str(tmp_path / "store")])
+
+    def test_campaign_status_empty_store(self, capsys, tmp_path):
+        assert main(["campaign", "status", "--store", str(tmp_path / "empty")]) == 0
+        assert "no campaigns checkpointed" in capsys.readouterr().out
+
+    def test_campaign_status_unknown_prefix(self, tmp_path):
+        with pytest.raises(SystemExit, match="no campaign matching"):
+            main(["campaign", "status", "--store", str(tmp_path / "empty"),
+                  "--campaign", "deadbeef"])
