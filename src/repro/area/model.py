@@ -187,6 +187,39 @@ def hydra_area_report(
     )
 
 
+def prac_area_report(
+    nrh: int,
+    config: Optional["PRACConfig"] = None,
+    dram_config: Optional[DRAMConfig] = None,
+    model: Optional[AreaModel] = None,
+) -> AreaReport:
+    """PRAC storage/area: in-DRAM per-row counters, no processor-chip SRAM.
+
+    Like Hydra's in-DRAM counters, PRAC's per-row storage is reported in the
+    breakdown but not counted as processor-chip area — the counters live in
+    the DRAM rows themselves, which is the whole point of the DDR5
+    direction: the on-chip cost is threshold-independent (a pin and a small
+    back-off state machine), so the mechanism does not suffer the ~1/NRH
+    area scaling of SRAM/CAM trackers.
+    """
+    from repro.mitigations.prac import PRACConfig
+
+    config = config or PRACConfig(nrh=nrh)
+    dram_config = dram_config or _default_dram_config()
+    model = model or AreaModel()
+    org = dram_config.organization
+
+    in_dram_kib = org.total_rows * config.counter_bits / 8 / 1024
+    return AreaReport(
+        mechanism="PRAC",
+        nrh=nrh,
+        storage_kib=0.0,
+        area_mm2=0.0,
+        breakdown_kib={"in_DRAM_counters": in_dram_kib},
+        breakdown_mm2={},
+    )
+
+
 def graphene_storage_table(
     thresholds: Optional[List[int]] = None,
     dram_config: Optional[DRAMConfig] = None,

@@ -80,7 +80,12 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.reporting import format_table
-from repro.area.model import comet_area_report, graphene_area_report, hydra_area_report
+from repro.area.model import (
+    comet_area_report,
+    graphene_area_report,
+    hydra_area_report,
+    prac_area_report,
+)
 from repro.controller.policies import (
     ControllerPolicySpec,
     normalize_policy,
@@ -378,6 +383,12 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument(
         "--campaign-file", default=None, metavar="FILE",
         help="serialized CampaignSpec JSON (overrides the grid flags)",
+    )
+    crun.add_argument(
+        "--scaling-study", action="store_true",
+        help="run the low-NRH scaling study (mechanisms x NRH in "
+        "{125,64,32,20}, streaming-verified; overrides the grid flags and "
+        "prints the per-mechanism security report)",
     )
     crun.add_argument("--name", default="campaign", help="campaign name")
     crun.add_argument(
@@ -803,6 +814,10 @@ def _command_audit(args: argparse.Namespace) -> str:
 def _campaign_spec_from_args(args: argparse.Namespace):
     from repro.experiment.spec import CampaignSpec
 
+    if getattr(args, "scaling_study", False):
+        from repro.security.audit import scaling_campaign
+
+        return scaling_campaign()
     if args.campaign_file is not None:
         path = Path(args.campaign_file)
         try:
@@ -853,7 +868,15 @@ def _command_campaign_run(args: argparse.Namespace) -> str:
     row["backend"] = args.backend
     row["store"] = str(store.root)
     verdict = "finished" if status.finished else "resumable (budget/kill)"
-    return format_table([row], title=f"campaign {campaign.name}: {verdict}")
+    out = format_table([row], title=f"campaign {campaign.name}: {verdict}")
+    if campaign.audit:
+        # Any audit-mode campaign (--scaling-study, or a --campaign-file
+        # with "audit": true) reduces its store to a security report —
+        # partial if the run was budgeted or killed.
+        from repro.security.audit import scaling_report
+
+        out += "\n\n" + scaling_report(store, campaign).render()
+    return out
 
 
 def _command_campaign_status(args: argparse.Namespace) -> str:
@@ -927,6 +950,7 @@ def _command_area(args: argparse.Namespace) -> str:
         comet_area_report(args.nrh).as_row(),
         graphene_area_report(args.nrh).as_row(),
         hydra_area_report(args.nrh).as_row(),
+        prac_area_report(args.nrh).as_row(),
     ]
     return format_table(rows, title=f"storage and area at NRH={args.nrh} (Table 4 row)")
 

@@ -248,6 +248,14 @@ class MemoryController:
         self._row_policy_closes = (
             type(self.row_policy).close_candidates is not RowPolicy.close_candidates
         )
+        #: Active refresh policies (DDR5 RFM) observe ACT/REF traffic and
+        #: owe bank-scoped RFM commands; passive policies skip all wiring.
+        self._refresh_policy_rfm = getattr(self.refresh_policy, "ISSUES_RFM", False)
+        #: Mitigations that assert Alert Back-Off (PRAC) stall demand issue;
+        #: everything else skips the per-decision hook call.
+        self._mitigation_blocks = mitigation is not None and getattr(
+            mitigation, "BLOCKS_DEMAND", False
+        )
         #: Per-bank-key (rank, timing-table index, channel, bankgroup)
         #: cache for the fast scan: everything about a bank key that never
         #: changes, resolved once instead of per scan.
@@ -291,6 +299,8 @@ class MemoryController:
             mitigation.attach(self)
             self.dram.add_activation_observer(self._on_activation)
             self.dram.add_refresh_observer(self._on_refresh)
+        if self._refresh_policy_rfm:
+            self.refresh_policy.attach(self)
 
     # ------------------------------------------------------------------ #
     # External interface (cores, mitigations)
@@ -491,6 +501,10 @@ class MemoryController:
         refresh_decision = self._refresh_command(cycle)
         if refresh_decision is not None:
             return refresh_decision
+        if self._refresh_policy_rfm:
+            rfm_decision = self._rfm_command(cycle)
+            if rfm_decision is not None:
+                return rfm_decision
         preventive_decision = self._preventive_command(cycle)
         if preventive_decision is not None:
             return preventive_decision
@@ -534,6 +548,45 @@ class MemoryController:
                 candidate = (self.dram.earliest_issue_cycle(command, cycle), command)
             if best is None or candidate[0] < best[0]:
                 best = candidate
+        if best is None:
+            return None
+        return best[0], best[1], None
+
+    def _rfm_command(
+        self, cycle: int
+    ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
+        """Serve banks whose rolling activation count owes an RFM.
+
+        Mirrors :meth:`_refresh_command`: an open bank is first closed with
+        a PRE so the bank-scoped RFM can go out, and the earliest-issuable
+        candidate wins.  Ranked above preventive and demand traffic so a
+        bank at ``raaimt`` cannot keep accumulating activations — the DDR5
+        contract that keeps RAA below ``raammt``.
+        """
+        best: Optional[Tuple[int, Command]] = None
+        trfm = getattr(self.refresh_policy, "trfm", self.dram_config.timing.tRFC)
+        for bank_key in self.refresh_policy.rfm_pending():
+            channel, rank_id, bankgroup, bank = bank_key
+            if self.dram.bank(channel, rank_id, bankgroup, bank).is_closed():
+                command = Command(
+                    CommandKind.RFM,
+                    channel=channel,
+                    rank=rank_id,
+                    bankgroup=bankgroup,
+                    bank=bank,
+                    metadata={"trfm": trfm},
+                )
+            else:
+                command = Command(
+                    CommandKind.PRE,
+                    channel=channel,
+                    rank=rank_id,
+                    bankgroup=bankgroup,
+                    bank=bank,
+                )
+            issue_cycle = self.dram.earliest_issue_cycle(command, cycle)
+            if best is None or issue_cycle < best[0]:
+                best = (issue_cycle, command)
         if best is None:
             return None
         return best[0], best[1], None
@@ -620,6 +673,14 @@ class MemoryController:
     def _demand_command(
         self, cycle: int
     ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
+        if self._mitigation_blocks:
+            # Alert Back-Off (PRAC): the device asserted ALERT_n, so demand
+            # issue stalls until the alert window closes.  Refresh, RFM and
+            # preventive traffic — the commands that clear the alert — are
+            # selected before this point and are not held back.
+            blocked = self.mitigation.demand_blocked_until(cycle)
+            if blocked > cycle:
+                cycle = blocked
         if self._fast_demand:
             return self._fast_demand_command(cycle)
         return self._generic_demand_command(cycle)
@@ -987,6 +1048,12 @@ class MemoryController:
 
         bank_key = (command.channel, command.rank, command.bankgroup, command.bank)
 
+        if command.kind is CommandKind.RFM:
+            # The device model already blocked the bank; the policy performs
+            # the device's management action (victim refresh, RAA payback).
+            self.refresh_policy.on_rfm(cycle, bank_key)
+            return
+
         if command.kind is CommandKind.ACT:
             self.row_policy.on_act(bank_key, cycle)
             if request is not None:
@@ -1071,6 +1138,9 @@ class MemoryController:
             "mitigation": (
                 self.mitigation.snapshot() if self.mitigation is not None else None
             ),
+            "refresh_policy": (
+                self.refresh_policy.snapshot() if self._refresh_policy_rfm else None
+            ),
         }
 
     def restore(self, state: Dict) -> None:
@@ -1094,6 +1164,11 @@ class MemoryController:
         self.dram.restore(state["dram"])
         if self.mitigation is not None and state["mitigation"] is not None:
             self.mitigation.restore(state["mitigation"])
+        # ``.get``: snapshots written before active refresh policies existed
+        # carry no policy state (and passive policies have none to restore).
+        policy_state = state.get("refresh_policy")
+        if self._refresh_policy_rfm and policy_state is not None:
+            self.refresh_policy.restore(policy_state)
         self.read_queue.clear()
         self.write_queue.clear()
         self.preventive_queue.clear()

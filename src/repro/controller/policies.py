@@ -16,11 +16,15 @@ component:
   residency timeout — which also bounds RowPress-style long-open-row
   disturbance).
 * :class:`RefreshPolicy` — how periodic refresh is organized. ``all_bank``
-  (one rank-level REF every tREFI; the paper's mode) and
+  (one rank-level REF every tREFI; the paper's mode),
   ``fine_granularity`` (DDR4 FGR: REF 2x/4x as often, each refreshing a
-  fraction of the rows and blocking the rank for the shorter tRFC2/tRFC4).
-  True same-bank REFpb is deliberately not modelled: the mitigation observer
-  protocol (:meth:`repro.mitigations.base.RowHammerMitigation.on_refresh`)
+  fraction of the rows and blocking the rank for the shorter tRFC2/tRFC4)
+  and ``rfm`` (DDR5 Refresh Management: per-bank rolling activation
+  accounting with ``raaimt``/``raammt`` thresholds, issuing bank-scoped
+  RFM commands that block the bank for ``tRFM`` while the device refreshes
+  likely victims).  True same-bank REFpb is deliberately not modelled: the
+  mitigation observer protocol
+  (:meth:`repro.mitigations.base.RowHammerMitigation.on_refresh`)
   is rank-scoped, and FGR reproduces the scheduling-relevant property —
   shorter, more frequent refresh blackouts — without changing it.
 
@@ -52,6 +56,7 @@ from typing import (
     Union,
 )
 
+from repro.dram.address import DRAMAddress
 from repro.dram.commands import Command, CommandKind
 from repro.dram.config import DRAMConfig
 
@@ -268,18 +273,48 @@ class RowPolicy:
 class RefreshPolicy:
     """Shapes the periodic-refresh schedule.
 
-    The policy rewrites the DRAM configuration before the device model is
-    built (the same hook mitigations such as REGA use); the controller's
+    Passive policies rewrite the DRAM configuration before the device model
+    is built (the same hook mitigations such as REGA use); the controller's
     refresh machinery — per-rank due times staggered across ranks, owed
     extra refreshes, PRE-before-REF — then operates on the adjusted
     ``tREFI``/``tRFC``/``rows_per_refresh`` without further policy calls.
+
+    Policies that issue their own refresh-management traffic (DDR5 RFM)
+    additionally set :attr:`ISSUES_RFM` and implement the active hooks: the
+    controller then calls :meth:`attach` once after the DRAM system is built
+    (the policy registers its own ACT/REF observers there), folds the banks
+    reported by :meth:`rfm_pending` into command selection ahead of
+    preventive and demand traffic, reports each issued RFM through
+    :meth:`on_rfm`, and carries :meth:`snapshot`/:meth:`restore` in its
+    checkpoint.
     """
 
     name = "base"
     PARAMS: Tuple[str, ...] = ()
+    #: True for policies that track activations and owe RFM commands; the
+    #: controller skips all active-hook wiring when False, so passive
+    #: policies cost nothing on the scheduling path.
+    ISSUES_RFM = False
 
     def adjust_dram_config(self, config: DRAMConfig) -> DRAMConfig:
         return config
+
+    def attach(self, controller: "MemoryController") -> None:
+        """Called once by the controller after its DRAM system is built."""
+
+    def rfm_pending(self) -> Sequence[Tuple[int, int, int, int]]:
+        """Bank keys whose rolling activation count currently owes an RFM."""
+        return ()
+
+    def on_rfm(self, cycle: int, bank_key: Tuple[int, int, int, int]) -> None:
+        """An RFM command to ``bank_key`` was issued at ``cycle``."""
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data checkpoint of the policy's mutable state."""
+        return {}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore the state captured by :meth:`snapshot`."""
 
 
 # --------------------------------------------------------------------------- #
@@ -627,6 +662,159 @@ class FineGranularityRefreshPolicy(RefreshPolicy):
                 tRFC=max(1, int(round(timing.tRFC * ratio))),
             ),
         )
+
+
+@register_refresh_policy(
+    "rfm",
+    "DDR5 Refresh Management: per-bank rolling activation accounting with "
+    "raaimt/raammt thresholds; RFM commands block the bank for tRFM while "
+    "the device refreshes likely victims",
+)
+class RFMRefreshPolicy(RefreshPolicy):
+    """DDR5 RFM: per-bank Rolling Accumulated ACT (RAA) accounting.
+
+    Every ACT increments the target bank's RAA counter.  At ``raaimt`` (the
+    initial management threshold) the controller owes the bank an RFM:
+    command selection serves it ahead of preventive and demand traffic as a
+    bank-scoped :data:`~repro.dram.commands.CommandKind.RFM` that blocks
+    the bank for ``trfm`` cycles while the device refreshes the victims of
+    the hottest tracked aggressor row.  Each RFM — and each periodic REF —
+    pays back ``raaimt`` activations' worth of RAA.
+
+    ``raammt`` (the maximum management threshold) is the device-enforced
+    backstop: a real device refuses further ACTs until the overdue RFM goes
+    out.  In detailed simulation RAA essentially cannot reach it (the owed
+    RFM outranks every further demand ACT), but sampled fast-forward runs
+    no scheduler, so the activation observer applies the management action
+    functionally the moment RAA hits ``raammt`` — preserving the security
+    contract across fidelity modes.
+
+    Device-side victim selection is modelled as a per-bank activation
+    tracker: each RFM services the hottest row recorded since that row was
+    last serviced (refreshing its +-1 neighbours through
+    :meth:`~repro.dram.dram_system.DRAMSystem.notify_row_refresh`, which
+    the security verifier observes) and clears the row's entry.  Ties pick
+    the lowest row index, keeping the policy deterministic and
+    restore-order independent.
+    """
+
+    PARAMS = ("raaimt", "raammt", "trfm")
+    ISSUES_RFM = True
+
+    def __init__(self, raaimt: int = 32, raammt: int = 64, trfm: int = 250) -> None:
+        if raaimt < 1:
+            raise ValueError("raaimt must be >= 1")
+        if raammt < raaimt:
+            raise ValueError("raammt must be >= raaimt")
+        if trfm < 1:
+            raise ValueError("trfm must be >= 1")
+        self.raaimt = raaimt
+        self.raammt = raammt
+        self.trfm = trfm
+        self._controller: Optional["MemoryController"] = None
+        #: Rolling Accumulated ACT count per (channel, rank, bankgroup, bank).
+        self._raa: Dict[Tuple[int, int, int, int], int] = {}
+        #: Device-side tracker: per bank, ACTs per row since the row's last
+        #: RFM service.
+        self._row_acts: Dict[Tuple[int, int, int, int], Dict[int, int]] = {}
+        #: Banks at or above raaimt, maintained incrementally so the
+        #: per-decision pending query is O(1) when nothing is owed.
+        self._due: set = set()
+
+    # -- controller wiring ------------------------------------------------
+    def attach(self, controller: "MemoryController") -> None:
+        self._controller = controller
+        controller.dram.add_activation_observer(self._observe_activation)
+        controller.dram.add_refresh_observer(self._observe_refresh)
+
+    def rfm_pending(self) -> Sequence[Tuple[int, int, int, int]]:
+        if not self._due:
+            return ()
+        return sorted(self._due)
+
+    def on_rfm(self, cycle: int, bank_key: Tuple[int, int, int, int]) -> None:
+        self._raa[bank_key] = self._service(
+            bank_key, cycle, self._raa.get(bank_key, 0)
+        )
+
+    # -- observers ---------------------------------------------------------
+    def _observe_activation(self, cycle, address, is_preventive) -> None:
+        bank_key = address.bank_key
+        raa = self._raa.get(bank_key, 0) + 1
+        rows = self._row_acts.get(bank_key)
+        if rows is None:
+            rows = self._row_acts[bank_key] = {}
+        rows[address.row] = rows.get(address.row, 0) + 1
+        if raa >= self.raammt:
+            # Device backstop (reached only in sampled fast-forward, where
+            # RFM commands never issue): apply the management action in
+            # place, as a device refusing further ACTs effectively does.
+            raa = self._service(bank_key, cycle, raa)
+            self._controller.dram.stats.rfms += 1
+        self._raa[bank_key] = raa
+        if raa >= self.raaimt:
+            self._due.add(bank_key)
+
+    def _observe_refresh(self, cycle, rank_key, start_row, count) -> None:
+        channel, rank = rank_key
+        for bank_key, raa in self._raa.items():
+            if bank_key[0] != channel or bank_key[1] != rank or raa == 0:
+                continue
+            raa = max(0, raa - self.raaimt)
+            self._raa[bank_key] = raa
+            if raa < self.raaimt:
+                self._due.discard(bank_key)
+
+    def _service(
+        self, bank_key: Tuple[int, int, int, int], cycle: int, raa: int
+    ) -> int:
+        """Perform the device's RFM action on ``bank_key``; returns the new RAA."""
+        dram = self._controller.dram
+        rows = self._row_acts.get(bank_key)
+        if rows:
+            aggressor_row = max(
+                rows.items(), key=lambda item: (item[1], -item[0])
+            )[0]
+            del rows[aggressor_row]
+            channel, rank, bankgroup, bank = bank_key
+            aggressor = DRAMAddress(
+                channel=channel,
+                rank=rank,
+                bankgroup=bankgroup,
+                bank=bank,
+                row=aggressor_row,
+                column=0,
+            )
+            victims = self._controller.mapper.neighbors(aggressor, 1)
+            for victim in victims:
+                dram.notify_row_refresh(cycle, victim)
+            dram.stats.in_dram_refresh_rows += len(victims)
+        raa = max(0, raa - self.raaimt)
+        if raa < self.raaimt:
+            self._due.discard(bank_key)
+        return raa
+
+    # -- checkpointing -----------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "raa": [
+                [list(key), value] for key, value in sorted(self._raa.items())
+            ],
+            "row_acts": [
+                [list(key), [list(item) for item in sorted(rows.items())]]
+                for key, rows in sorted(self._row_acts.items())
+            ],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._raa = {tuple(key): value for key, value in state["raa"]}
+        self._row_acts = {
+            tuple(key): {row: acts for row, acts in rows}
+            for key, rows in state["row_acts"]
+        }
+        self._due = {
+            key for key, raa in self._raa.items() if raa >= self.raaimt
+        }
 
 
 # --------------------------------------------------------------------------- #

@@ -17,13 +17,21 @@ from typing import Optional
 
 
 class CommandKind(enum.Enum):
-    """The DDR4 command types modelled by the simulator."""
+    """The DRAM command types modelled by the simulator.
+
+    ``RFM`` (Refresh Management) is the DDR5 addition: a bank-scoped
+    command that gives the device a ``tRFM`` window to refresh the
+    potential victims of recent activations.  The window length rides in
+    :attr:`Command.metadata` under ``"trfm"`` because it is a policy
+    parameter, not a device constant.
+    """
 
     ACT = "ACT"
     PRE = "PRE"
     RD = "RD"
     WR = "WR"
     REF = "REF"
+    RFM = "RFM"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -33,7 +33,18 @@ RowRefreshObserver = Callable[[int, DRAMAddress], None]
 
 @dataclass
 class DRAMStatistics:
-    """Global command counts, used by the energy model and reports."""
+    """Global command counts, used by the energy model and reports.
+
+    The fields below the fold are DDR5-era accounting inputs for the
+    energy model: ``refresh_rows`` (rows covered by periodic REFs, so
+    fine-granularity refresh is charged by coverage rather than per
+    command), ``rfms`` (RFM commands), ``in_dram_refresh_rows`` (victim
+    rows the device refreshed itself during RFM/ABO service) and
+    ``counter_updates`` (PRAC per-row counter read-modify-writes).  They
+    are deliberately *not* part of :meth:`as_dict` — the seven-key report
+    shape is pinned by the golden records — but they snapshot/restore and
+    aggregate across channels like every other field.
+    """
 
     acts: int = 0
     pres: int = 0
@@ -42,6 +53,10 @@ class DRAMStatistics:
     refreshes: int = 0
     preventive_acts: int = 0
     preventive_refresh_pairs: int = 0
+    refresh_rows: int = 0
+    rfms: int = 0
+    in_dram_refresh_rows: int = 0
+    counter_updates: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -253,6 +268,21 @@ class Rank:
         ) % self.config.organization.rows_per_bank
         return start_row, rows_per_refresh
 
+    def earliest_rfm(self, cycle: int, bankgroup: int, bank: int) -> int:
+        """An RFM may issue to a bank once that bank is precharged."""
+        earliest = max(cycle, self.blocked_until)
+        target = self.banks[(bankgroup, bank)]
+        table, i = self.table, target.index
+        if table.open_row[i] is not None:
+            # The controller must precharge first; report the earliest
+            # cycle the closed bank could accept the RFM.
+            return max(earliest, table.next_pre[i] + self.config.timing.tRP)
+        return max(earliest, table.next_act[i])
+
+    def apply_rfm(self, cycle: int, bankgroup: int, bank: int, trfm: int) -> None:
+        """Apply a bank-scoped RFM: the bank is busy refreshing for tRFM."""
+        self.banks[(bankgroup, bank)].refresh_block(cycle, cycle + trfm)
+
 
 class DRAMSystem:
     """The DRAM device model behind one memory controller.
@@ -374,6 +404,10 @@ class DRAMSystem:
             return earliest
         if command.kind is CommandKind.REF:
             return max(earliest, rank.earliest_refresh(cycle))
+        if command.kind is CommandKind.RFM:
+            return max(
+                earliest, rank.earliest_rfm(cycle, command.bankgroup, command.bank)
+            )
         raise ValueError(f"unknown command kind {command.kind}")
 
     def can_issue(self, command: Command, cycle: int) -> bool:
@@ -443,9 +477,16 @@ class DRAMSystem:
         if command.kind is CommandKind.REF:
             start_row, count = rank.apply_refresh(cycle)
             self.stats.refreshes += 1
+            self.stats.refresh_rows += count
             for observer in self._refresh_observers:
                 observer(cycle, (command.channel, command.rank), start_row, count)
             return cycle + timing.tRFC
+
+        if command.kind is CommandKind.RFM:
+            trfm = command.metadata.get("trfm", timing.tRFC)
+            rank.apply_rfm(cycle, command.bankgroup, command.bank, trfm)
+            self.stats.rfms += 1
+            return cycle + trfm
 
         raise ValueError(f"unknown command kind {command.kind}")
 

@@ -26,6 +26,17 @@ class DDR4EnergyParameters:
     write_energy_nj: float = 2.1
     #: Energy of one all-bank REF command, per rank.
     refresh_energy_nj: float = 28.0
+    #: Energy of one RFM (Refresh Management) command, per rank.  An RFM
+    #: gives the device a tRFM window to refresh a small set of potential
+    #: victims — roughly half an all-bank REF's worth of array activity.
+    rfm_energy_nj: float = 14.0
+    #: Energy of refreshing one row in-DRAM (ABO recovery, RFM victim
+    #: refreshes, Hydra-style per-row traffic): an all-bank REF covering
+    #: 16 rows at 28 nJ amortizes to 1.75 nJ per row.
+    row_refresh_energy_nj: float = 1.75
+    #: Energy of one in-DRAM per-row activation-counter read-modify-write
+    #: (the PRAC counter update riding on every ACT).
+    counter_update_energy_nj: float = 0.05
     #: Background (standby) power per rank in milliwatts, active-idle average.
     background_power_mw: float = 190.0
     #: DRAM clock period in nanoseconds (DDR4-2400).

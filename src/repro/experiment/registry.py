@@ -51,6 +51,7 @@ def _ensure_builtin() -> None:
     import repro.mitigations.hydra  # noqa: F401
     import repro.mitigations.none  # noqa: F401
     import repro.mitigations.para  # noqa: F401
+    import repro.mitigations.prac  # noqa: F401
     import repro.mitigations.rega  # noqa: F401
     import repro.security.synth  # noqa: F401
     import repro.workloads.attacks  # noqa: F401

@@ -491,6 +491,15 @@ class CampaignSpec:
     metric needs them, so they are computed first.  ``budget`` caps how
     many cells one ``run()`` invocation may *execute* (completed cells cost
     nothing); ``None`` is unlimited.
+
+    ``audit=True`` switches the grid to a *security-audit* campaign:
+    expansion goes through :func:`repro.security.audit.build_audit_grid`
+    instead of :func:`expand_grid`, so every cell runs with the streaming
+    security verifier attached, ``mitigations`` may include
+    refresh-policy mechanisms (``"rfm"``), and ``seed`` seeds the
+    adversarial pattern synthesis.  Audit grids are single-core; both new
+    fields serialize only when non-default, so every pre-existing
+    campaign's ``campaign_id()`` is unchanged.
     """
 
     name: str
@@ -506,6 +515,10 @@ class CampaignSpec:
     priorities: _Pairs = ()
     #: Maximum cells executed per ``run()`` invocation (``None``: unlimited).
     budget: Optional[int] = None
+    #: Expand as a streaming-verified security-audit grid (see class doc).
+    audit: bool = False
+    #: Workload seed for audit grids (ignored by performance grids).
+    seed: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", tuple(self.workloads))
@@ -537,6 +550,8 @@ class CampaignSpec:
             if self.include_baseline
             else self.priority
         )
+        if self.audit:
+            return self._audit_cells(priorities, baseline_priority)
         specs = expand_grid(
             workloads=list(self.workloads),
             mitigations=list(self.mitigations),
@@ -556,6 +571,38 @@ class CampaignSpec:
                 )
         return cells
 
+    def _audit_cells(
+        self, priorities: Dict[str, int], baseline_priority: int
+    ) -> List[Tuple["ExperimentSpec", int]]:
+        """Audit-mode expansion: the security grid, one slice per channel
+        count.  Priorities key on the *mechanism* label (``mechanism_of``),
+        so refresh-policy rows (``"rfm"``) are prioritized under their own
+        name even though they run the ``"none"`` mitigation."""
+        # Lazy: repro.security.audit imports this module at its top level.
+        from repro.security.audit import build_audit_grid, mechanism_of
+
+        specs: List[ExperimentSpec] = []
+        for num_channels in self.channels:
+            specs.extend(
+                build_audit_grid(
+                    mitigations=list(self.mitigations),
+                    patterns=list(self.workloads),
+                    nrhs=list(self.nrhs),
+                    num_requests=self.num_requests,
+                    channels=num_channels,
+                    seed=self.seed,
+                    include_baseline=self.include_baseline,
+                )
+            )
+        cells = []
+        for spec in specs:
+            mechanism = mechanism_of(spec)
+            if mechanism == "none":
+                cells.append((spec, baseline_priority))
+            else:
+                cells.append((spec, priorities.get(mechanism, self.priority)))
+        return cells
+
     def total_cells(self) -> int:
         return len(self.cells())
 
@@ -563,7 +610,7 @@ class CampaignSpec:
     # Serialization
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "spec_version": SPEC_VERSION,
             "name": self.name,
             "workloads": list(self.workloads),
@@ -577,6 +624,13 @@ class CampaignSpec:
             "priorities": {k: encode_value(v) for k, v in self.priorities},
             "budget": self.budget,
         }
+        # Emitted only when non-default so the canonical JSON — and every
+        # pre-existing campaign_id — is byte-identical to older builds.
+        if self.audit:
+            data["audit"] = True
+        if self.seed:
+            data["seed"] = self.seed
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
@@ -600,6 +654,8 @@ class CampaignSpec:
                 k: decode_value(v) for k, v in data.get("priorities", {}).items()
             },
             budget=data.get("budget"),
+            audit=data.get("audit", False),
+            seed=data.get("seed", 0),
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:

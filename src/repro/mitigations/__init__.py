@@ -14,6 +14,8 @@ the memory controller drives:
   activations, modelled as inflated activation timings.
 * :class:`~repro.mitigations.blockhammer.BlockHammer` — counting-Bloom-filter
   blacklisting with activation throttling.
+* :class:`~repro.mitigations.prac.PRAC` — DDR5 per-row activation counting
+  in-DRAM with Alert Back-Off demand back-pressure.
 
 CoMeT itself lives in :mod:`repro.core` (it is the paper's contribution) but
 implements the same interface.
@@ -27,6 +29,7 @@ from repro.mitigations.graphene import Graphene, GrapheneConfig
 from repro.mitigations.hydra import Hydra, HydraConfig
 from repro.mitigations.rega import REGA, REGAConfig
 from repro.mitigations.blockhammer import BlockHammer, BlockHammerConfig
+from repro.mitigations.prac import PRAC, PRACConfig
 
 __all__ = [
     "RowHammerMitigation",
@@ -43,4 +46,6 @@ __all__ = [
     "REGAConfig",
     "BlockHammer",
     "BlockHammerConfig",
+    "PRAC",
+    "PRACConfig",
 ]

@@ -1,6 +1,6 @@
 """Common interface every RowHammer mitigation implements.
 
-The memory controller interacts with a mitigation through five hooks:
+The memory controller interacts with a mitigation through six hooks:
 
 * :meth:`RowHammerMitigation.adjust_dram_config` — rewrite DRAM timings
   before the device model is built (REGA inflates activation latency).
@@ -10,6 +10,8 @@ The memory controller interacts with a mitigation through five hooks:
   (used for window bookkeeping by mechanisms that need it).
 * :meth:`RowHammerMitigation.act_allowed_cycle` — optionally delay demand
   activations (BlockHammer's throttling).
+* :meth:`RowHammerMitigation.demand_blocked_until` — optionally stall all
+  demand issue for a recovery window (PRAC's Alert Back-Off).
 * :meth:`RowHammerMitigation.storage_bits_per_bank` /
   :meth:`storage_report` — feed the area model of Table 1 / Table 4.
 
@@ -107,6 +109,21 @@ class RowHammerMitigation(ABC):
     def act_allowed_cycle(self, address: DRAMAddress, cycle: int) -> int:
         """Earliest cycle a demand ACT to ``address`` may issue (default: now)."""
         return cycle
+
+    #: True for mechanisms that assert Alert Back-Off (PRAC): the controller
+    #: then consults :meth:`demand_blocked_until` before every demand
+    #: scheduling decision.  False skips the hook call entirely.
+    BLOCKS_DEMAND = False
+
+    def demand_blocked_until(self, cycle: int) -> int:
+        """Cycle until which all demand issue is stalled (ABO); default: never.
+
+        Unlike :meth:`act_allowed_cycle` — a per-address ACT throttle
+        (BlockHammer) — this back-pressures the whole channel: reads, writes
+        and row opens all wait while the device recovers from an alert.
+        Refresh and preventive traffic are not held back.
+        """
+        return 0
 
     # ------------------------------------------------------------------ #
     # Helpers available to subclasses

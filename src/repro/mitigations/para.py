@@ -37,6 +37,28 @@ def para_refresh_probability(nrh: int, target_failure_probability: float = 1e-15
     return 1.0 - math.pow(target_failure_probability, 1.0 / nrh)
 
 
+def para_is_feasible(
+    nrh: int,
+    blast_radius: int = 1,
+    target_failure_probability: float = 1e-15,
+) -> bool:
+    """Whether PARA's preventive-refresh cascade stays subcritical at ``nrh``.
+
+    Every preventive refresh activates ``2 * blast_radius`` neighbour rows,
+    and each of those activations is itself coin-flipped (preventive ACTs
+    disturb *their* neighbours too — see :meth:`PARA.on_activation`).  The
+    cascade is a branching process with mean offspring
+    ``p * 2 * blast_radius``: once that reaches 1 the storm of preventive
+    refreshes no longer dies out and PARA consumes unbounded activation
+    bandwidth — in hardware as in simulation.  With the default 1e-15
+    failure target the boundary sits at NRH ≈ 50 (``p = 0.5``), which is
+    why the low-NRH scaling study reports PARA as *infeasible* rather than
+    insecure below it.
+    """
+    probability = para_refresh_probability(nrh, target_failure_probability)
+    return probability * 2 * blast_radius < 1.0
+
+
 @register_mitigation("para", seedable=True)
 class PARA(RowHammerMitigation):
     """Probabilistic adjacent-row refresh."""
@@ -54,6 +76,15 @@ class PARA(RowHammerMitigation):
         super().__init__(nrh=nrh, blast_radius=blast_radius)
         if probability is None:
             probability = para_refresh_probability(nrh, target_failure_probability)
+            # A derived p must keep the preventive cascade subcritical (an
+            # explicit probability is the caller's informed choice).
+            if probability * 2 * blast_radius >= 1.0:
+                raise ValueError(
+                    f"para is infeasible at nrh={nrh}: refresh probability "
+                    f"{probability:.3f} makes the preventive-refresh cascade "
+                    f"supercritical (p * {2 * blast_radius} >= 1); see "
+                    "para_is_feasible()"
+                )
         if not 0 <= probability <= 1:
             raise ValueError("probability must be in [0, 1]")
         self.probability = probability

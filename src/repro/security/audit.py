@@ -40,6 +40,7 @@ from repro.controller.policies import (
     normalize_policy,
 )
 from repro.experiment.spec import (
+    CampaignSpec,
     ExperimentSpec,
     MitigationSpec,
     PlatformSpec,
@@ -66,6 +67,73 @@ AUDIT_PATTERN_CATEGORIES = ("synth", "attack")
 #: the invariant from NRH = 250 here — the same low-threshold breakdown
 #: regime Figure 18 shows for its performance.
 DESIGN_NRH: Dict[str, int] = {"default": 125, "blockhammer": 250}
+
+#: Mechanism names on the audit axis that are *controller refresh policies*
+#: rather than mitigations: the cell runs the unprotected baseline under the
+#: policy (NRH-scaled via :func:`rfm_policy_for_nrh`), and findings report
+#: the policy name as the mechanism.  This is how DDR5 RFM — which lives in
+#: the refresh scheduler, not behind the mitigation interface — rides the
+#: same grid as the trackers.
+REFRESH_POLICY_MECHANISMS = ("rfm",)
+
+#: The low-NRH scaling study's mechanism axis (Section 8's DDR5-era
+#: frontier): every tracker plus the two in-DRAM DDR5 mechanisms.
+SCALING_MECHANISMS = (
+    "blockhammer",
+    "comet",
+    "graphene",
+    "hydra",
+    "para",
+    "prac",
+    "rega",
+    "rfm",
+)
+
+#: The scaling study's threshold axis: the paper's headline NRH = 125 down
+#: to the ultra-low 20 where SRAM/CAM trackers blow up in area and RFM/PRAC
+#: pay ever more refresh bandwidth instead.
+SCALING_NRHS = (125, 64, 32, 20)
+
+#: The scaling study's adversarial patterns: the strongest synthesized
+#: many-sided pattern plus the uniform-random spreading pattern.
+SCALING_PATTERNS = ("synth_blacksmith", "synth_uniform")
+
+
+def rfm_policy_for_nrh(nrh: int) -> ControllerPolicySpec:
+    """The NRH-scaled RFM configuration the audit grid runs ``"rfm"`` at.
+
+    RAAIMT = NRH / 4: every RAAIMT activations into a bank the controller
+    owes an RFM command and the device refreshes the victims of the bank's
+    hottest row, so no single row can accumulate more than ~2 * RAAIMT
+    disturbances on a victim between services — comfortably under NRH with
+    a 2x margin.  RAAMMT = 2 * RAAIMT is the JEDEC dual-threshold shape
+    (the hard ceiling at which the device forces the service).  Scaling
+    RAAIMT with NRH is exactly the DDR5 trade: security at any threshold,
+    paid for in RFM bandwidth that grows as NRH shrinks.
+    """
+    raaimt = max(1, nrh // 4)
+    return ControllerPolicySpec(
+        refresh_policy="rfm",
+        params={"raaimt": raaimt, "raammt": 2 * raaimt},
+    )
+
+
+def mechanism_of(spec: ExperimentSpec) -> str:
+    """The mechanism label an audit cell reports under.
+
+    Normally the mitigation name; an unprotected-baseline cell running under
+    an active refresh-management policy (:data:`REFRESH_POLICY_MECHANISMS`)
+    reports as that policy — the policy *is* the mechanism under audit.
+    """
+    mechanism = spec.mitigation.name
+    controller = spec.platform.controller
+    if (
+        mechanism == "none"
+        and controller is not None
+        and controller.refresh_policy in REFRESH_POLICY_MECHANISMS
+    ):
+        return controller.refresh_policy
+    return mechanism
 
 
 def design_nrh(mitigation: str) -> int:
@@ -365,6 +433,13 @@ def build_audit_grid(
     repeated per policy triple (``None`` entries mean the platform's own
     policy), because a mitigation's security margin is entangled with
     scheduler and row-policy choice (open-row residency, refresh contention).
+
+    Mechanism names in :data:`REFRESH_POLICY_MECHANISMS` (``"rfm"``) expand
+    to unprotected-baseline cells under the NRH-scaled policy
+    (:func:`rfm_policy_for_nrh`) instead of a mitigation spec; those cells
+    carry their own controller policy and therefore skip the ``policies``
+    axis.  :func:`mechanism_of` maps them back to the policy name when
+    findings are reduced.
     """
     mitigation_list = list(mitigations) if mitigations else default_audit_mitigations()
     pattern_list = list(patterns) if patterns else default_audit_patterns()
@@ -390,11 +465,39 @@ def build_audit_grid(
     ]
     specs: List[ExperimentSpec] = []
     for mitigation in mitigation_list:
+        if mitigation in REFRESH_POLICY_MECHANISMS:
+            cell_nrhs = [design_nrh(mitigation)] if nrhs is None else list(nrhs)
+            for pattern in pattern_list:
+                for nrh in cell_nrhs:
+                    policy_platform = replace(plat, controller=rfm_policy_for_nrh(nrh))
+                    specs.append(
+                        ExperimentSpec(
+                            workload=WorkloadSpec(
+                                name=pattern, num_requests=num_requests, seed=seed
+                            ),
+                            mitigation=MitigationSpec(name="none", nrh=nrh),
+                            platform=policy_platform,
+                            verify_security="streaming",
+                            name=f"audit:{pattern}/{mitigation}@{nrh}"
+                            f"/{policy_platform.controller.label()}",
+                        )
+                    )
+            continue
         if nrhs is None:
             mitigation_specs = [design_mitigation_spec(mitigation)]
         else:
             mitigation_specs = [
                 MitigationSpec(name=mitigation, nrh=nrh) for nrh in nrhs
+            ]
+        if mitigation == "para":
+            # Below NRH ~ 50 PARA's derived refresh probability makes its
+            # preventive cascade supercritical — an activation storm, not a
+            # security verdict.  The grid marks those cells infeasible
+            # (they are simply absent; scaling_report records them).
+            from repro.mitigations.para import para_is_feasible
+
+            mitigation_specs = [
+                mspec for mspec in mitigation_specs if para_is_feasible(mspec.nrh)
             ]
         for pattern in pattern_list:
             for mspec in mitigation_specs:
@@ -428,7 +531,7 @@ def _reduce_records(
         policy = spec.platform.controller or DEFAULT_POLICY
         findings.append(
             AuditFinding(
-                mitigation=spec.mitigation.name,
+                mitigation=mechanism_of(spec),
                 pattern=spec.workload.name,
                 nrh=nrh,
                 channels=spec.platform.channel_count,
@@ -494,7 +597,7 @@ def run_audit(
             "channels": specs[0].platform.channel_count if specs else channels,
             "num_requests": num_requests,
             "nrhs": list(nrhs) if nrhs is not None else "design",
-            "mitigations": sorted({spec.mitigation.name for spec in specs}),
+            "mitigations": sorted({mechanism_of(spec) for spec in specs}),
             "patterns": sorted({spec.workload.name for spec in specs}),
             "policies": sorted(
                 {
@@ -502,5 +605,85 @@ def run_audit(
                     for spec in specs
                 }
             ),
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The low-NRH scaling study
+# --------------------------------------------------------------------------- #
+def scaling_campaign(
+    mechanisms: Optional[Sequence[str]] = None,
+    patterns: Optional[Sequence[str]] = None,
+    nrhs: Optional[Sequence[int]] = None,
+    num_requests: int = 6000,
+    budget: Optional[int] = None,
+) -> "CampaignSpec":
+    """The DDR5-era scaling study as a resumable campaign.
+
+    Sweeps every mechanism (:data:`SCALING_MECHANISMS` — trackers, in-DRAM
+    PRAC/ABO, and NRH-scaled RFM) against :data:`SCALING_PATTERNS` at each
+    threshold in :data:`SCALING_NRHS`, streaming-verified, plus the
+    unprotected baseline rows.  Run it through
+    :meth:`repro.experiment.session.Session.campaign` (or ``repro campaign
+    run --scaling-study``): cells persist to the result store as they
+    finish, so the study can be killed and resumed, sharded over workers,
+    or budgeted per invocation.  Reduce the store to a
+    :class:`SecurityReport` with :func:`scaling_report`.
+    """
+    return CampaignSpec(
+        name="low-nrh-scaling",
+        workloads=tuple(patterns) if patterns else SCALING_PATTERNS,
+        mitigations=tuple(mechanisms) if mechanisms else SCALING_MECHANISMS,
+        nrhs=tuple(nrhs) if nrhs else SCALING_NRHS,
+        num_requests=num_requests,
+        include_baseline=True,
+        audit=True,
+        budget=budget,
+    )
+
+
+def scaling_report(store, campaign: Optional["CampaignSpec"] = None) -> SecurityReport:
+    """Reduce a (possibly partial) scaling campaign's store to a report.
+
+    Re-expands the campaign grid, fetches each cell's record from the
+    :class:`~repro.campaign.store.ResultStore` by content hash, and reduces
+    whatever is present; cells not yet executed are counted in
+    ``metadata["missing_cells"]`` rather than failing, so a partially
+    drained campaign still yields a report over its finished frontier.
+    """
+    from repro import __version__
+
+    campaign = campaign if campaign is not None else scaling_campaign()
+    # Cells the grid refused to expand (PARA's supercritical boundary) are
+    # reported as infeasible, distinct from not-yet-executed missing cells.
+    infeasible: List[str] = []
+    if "para" in campaign.mitigations:
+        from repro.mitigations.para import para_is_feasible
+
+        infeasible = [
+            f"para@{nrh}" for nrh in campaign.nrhs if not para_is_feasible(nrh)
+        ]
+    specs = [spec for spec, _ in campaign.cells()]
+    done: List[ExperimentSpec] = []
+    records = []
+    for spec in specs:
+        record = store.get_record(spec)
+        if record is None:
+            continue
+        done.append(spec)
+        records.append(record)
+    return SecurityReport(
+        findings=_reduce_records(done, records),
+        metadata={
+            "repro_version": __version__,
+            "campaign": campaign.name,
+            "campaign_id": campaign.campaign_id(),
+            "total_cells": len(specs),
+            "missing_cells": len(specs) - len(done),
+            "nrhs": list(campaign.nrhs),
+            "infeasible": infeasible,
+            "mechanisms": sorted({mechanism_of(spec) for spec in done}),
+            "patterns": sorted({spec.workload.name for spec in done}),
         },
     )

@@ -137,6 +137,7 @@ def _functional_rank_refresh(ctl, rank_key: Tuple[int, int], cycle: int) -> None
     start_row = rank.refresh_row_pointer
     rank.refresh_row_pointer = (start_row + rows_per_refresh) % rows_per_bank
     dram.stats.refreshes += 1
+    dram.stats.refresh_rows += rows_per_refresh
     for observer in dram._refresh_observers:
         observer(cycle, rank_key, start_row, rows_per_refresh)
 

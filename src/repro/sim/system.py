@@ -216,7 +216,16 @@ class System:
         )
         dram_stats = self.fabric.dram_statistics()
         controller_stats = self.fabric.stats
-        energy = energy_model.energy(dram_stats, final_cycle)
+        # The refresh-energy calibration (28 nJ per REF) assumes the
+        # *unadjusted* all-bank coverage; fine-granularity refresh policies
+        # rewrite tREFI/rows_per_refresh on their adjusted copy, and passing
+        # the pre-adjustment coverage here is what keeps total refresh
+        # energy granularity-invariant.
+        energy = energy_model.energy(
+            dram_stats,
+            final_cycle,
+            rows_per_refresh=self.config.dram.rows_per_refresh,
+        )
         mitigation_name = self.mitigation.name if self.mitigation is not None else "none"
         mitigation_stats: Dict[str, float] = {}
         preventive = 0

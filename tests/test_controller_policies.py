@@ -74,14 +74,15 @@ class TestRegistry:
     def test_builtin_policies_registered(self):
         assert scheduler_names() == ["bliss", "fcfs", "fr_fcfs"]
         assert row_policy_names() == ["adaptive_timeout", "closed_page", "open_page"]
-        assert refresh_policy_names() == ["all_bank", "fine_granularity"]
+        assert refresh_policy_names() == ["all_bank", "fine_granularity", "rfm"]
 
     def test_catalog_carries_metadata(self):
         entries = {(e.kind, e.name): e for e in policy_catalog()}
-        assert len(entries) == 8
+        assert len(entries) == 9
         assert all(e.description for e in entries.values())
         assert "row_timeout" in entries[("row_policy", "adaptive_timeout")].params
         assert "bliss_blacklist_streak" in entries[("scheduler", "bliss")].params
+        assert "raaimt" in entries[("refresh_policy", "rfm")].params
 
     def test_unknown_names_rejected_listing_known(self):
         with pytest.raises(UnknownPolicyError, match="fr_fcfs"):
@@ -432,3 +433,182 @@ class TestStatisticsAttribution:
     def test_never_sentinel_is_int(self):
         assert isinstance(NEVER, int)
         assert NEVER > 10**15
+
+
+# --------------------------------------------------------------------------- #
+# Refresh row-coverage scaling (the energy model's denominator)
+# --------------------------------------------------------------------------- #
+class TestRefreshRowCoverage:
+    """Per-tREFW row coverage is granularity-invariant.
+
+    ``rows_per_refresh`` is derived from ``tREFW // tREFI``, so FGR's
+    shorter tREFI halves/quarters the per-REF coverage while doubling/
+    quadrupling the REF rate: every row of a bank is refreshed exactly once
+    per window (plus at most one ceil row per REF of overshoot) at every
+    granularity.  This invariant is what lets the energy model charge REFs
+    by rows covered (see ``TestRefreshRowAccounting`` in test_energy.py).
+    """
+
+    def test_rows_per_refresh_scales_inversely_with_granularity(self):
+        from repro.dram.config import DRAMConfig
+
+        base = DRAMConfig()
+        per_refresh = {}
+        for granularity in (1, 2, 4):
+            config = (
+                base
+                if granularity == 1
+                else FineGranularityRefreshPolicy(granularity).adjust_dram_config(
+                    base
+                )
+            )
+            per_refresh[granularity] = config.rows_per_refresh
+        # The full-scale DDR4 channel: 16 rows per all-bank REF, halving
+        # with each FGR step.
+        assert per_refresh == {1: 16, 2: 8, 4: 4}
+
+    @pytest.mark.parametrize("granularity", [1, 2, 4])
+    def test_every_row_refreshed_once_per_window(self, granularity):
+        from repro.dram.config import DRAMConfig
+
+        base = DRAMConfig()
+        config = (
+            base
+            if granularity == 1
+            else FineGranularityRefreshPolicy(granularity).adjust_dram_config(base)
+        )
+        rows_per_window = config.refreshes_per_window * config.rows_per_refresh
+        rows_per_bank = config.organization.rows_per_bank
+        # Complete coverage, overshooting by strictly less than one ceil
+        # row per REF command.
+        assert rows_per_bank <= rows_per_window
+        assert rows_per_window < rows_per_bank + config.refreshes_per_window
+
+
+# --------------------------------------------------------------------------- #
+# DDR5 Refresh Management (RFM)
+# --------------------------------------------------------------------------- #
+class TestRFMRefreshPolicy:
+    def _rfm_controller(self, dram_config, raaimt=4, raammt=8, trfm=64):
+        return make_controller(
+            dram_config,
+            policy=policy(
+                refresh_policy="rfm",
+                params={"raaimt": raaimt, "raammt": raammt, "trfm": trfm},
+            ),
+        )
+
+    def test_invalid_thresholds_rejected(self):
+        from repro.controller.policies import RFMRefreshPolicy
+
+        with pytest.raises(ValueError, match="raaimt"):
+            RFMRefreshPolicy(raaimt=0)
+        with pytest.raises(ValueError, match="raammt"):
+            RFMRefreshPolicy(raaimt=8, raammt=4)
+        with pytest.raises(ValueError, match="trfm"):
+            RFMRefreshPolicy(trfm=0)
+
+    def test_raaimt_activations_trigger_rfm(self, tiny_dram_config):
+        """Hammering one bank past RAAIMT issues an RFM that refreshes the
+        hottest row's neighbours in-DRAM."""
+        controller = self._rfm_controller(tiny_dram_config, raaimt=4)
+        cycle = 0
+        for i in range(8):
+            # Alternating rows force a conflict - and therefore a fresh
+            # ACT, which is what RAA counts - on every request.
+            row = 10 if i % 2 == 0 else 20
+            controller.enqueue(read_request(controller, row=row, cycle=cycle), cycle)
+            cycle = run_until_idle(controller, start=cycle)
+        assert controller.dram.stats.rfms >= 1
+        assert controller.dram.stats.in_dram_refresh_rows >= 2
+
+    def test_rfm_blocks_only_its_bank(self, tiny_dram_config):
+        """An owed RFM outranks demand on its bank, but other banks keep
+        issuing: tRFM is a bank-scoped blackout, not a rank one."""
+        controller = self._rfm_controller(tiny_dram_config, raaimt=2, trfm=2000)
+        for i in range(4):
+            controller.enqueue(
+                read_request(controller, row=10 + i, bank_index=0, cycle=0), 0
+            )
+        served_elsewhere = []
+        other = read_request(controller, row=5, bank_index=1, cycle=0)
+        other.on_complete = lambda req, cycle: served_elsewhere.append(cycle)
+        controller.enqueue(other, 0)
+        run_until_idle(controller)
+        assert controller.dram.stats.rfms >= 1
+        assert served_elsewhere and served_elsewhere[0] < 2000
+
+    def test_periodic_refresh_pays_down_raa(self, tiny_dram_config):
+        """REF credits RAAIMT back, so refresh-quiet banks never owe RFMs
+        for activity a periodic refresh already covered."""
+        from repro.controller.policies import RFMRefreshPolicy
+
+        policy_obj = RFMRefreshPolicy(raaimt=4, raammt=8)
+        controller = make_controller(tiny_dram_config)
+        policy_obj.attach(controller)
+        address = controller.mapper.decode(
+            controller.mapper.address_for_row(3, bank_index=0)
+        )
+        for _ in range(3):
+            policy_obj._observe_activation(0, address, False)
+        bank_key = address.bank_key
+        assert policy_obj._raa[bank_key] == 3
+        assert not policy_obj.rfm_pending()
+        policy_obj._observe_refresh(100, (address.channel, address.rank), 0, 8)
+        assert policy_obj._raa[bank_key] == 0
+
+    def test_snapshot_round_trip_mid_accumulation(self, tiny_dram_config):
+        """A restored twin owes the same RFMs and picks the same victim."""
+        import pickle
+
+        from repro.controller.policies import RFMRefreshPolicy
+
+        def build():
+            p = RFMRefreshPolicy(raaimt=4, raammt=8)
+            p.attach(make_controller(tiny_dram_config))
+            return p
+
+        original = build()
+        mapper = original._controller.mapper
+        rows = [7, 7, 9, 7, 11, 9, 7]
+        for i, row in enumerate(rows):
+            address = mapper.decode(mapper.address_for_row(row, bank_index=0))
+            original._observe_activation(i, address, False)
+        state = pickle.loads(pickle.dumps(original.snapshot()))
+
+        restored = build()
+        restored.restore(state)
+        assert restored._raa == original._raa
+        assert restored._row_acts == original._row_acts
+        assert list(restored.rfm_pending()) == list(original.rfm_pending())
+        # Service the owed RFM on both: same victim row chosen, same payback.
+        (bank_key,) = original.rfm_pending()
+        original.on_rfm(100, bank_key)
+        restored.on_rfm(100, bank_key)
+        assert restored._raa == original._raa
+        assert restored._row_acts == original._row_acts
+        assert (
+            original._controller.dram.stats.in_dram_refresh_rows
+            == restored._controller.dram.stats.in_dram_refresh_rows
+        )
+
+    def test_rfm_end_to_end_secure_at_low_nrh(self):
+        """The scaling-study contract in miniature: NRH-scaled RFM holds
+        the invariant against blacksmith at NRH=64 (see repro.security
+        .audit.rfm_policy_for_nrh for the margin argument)."""
+        spec = ExperimentSpec(
+            workload=WorkloadSpec(name="synth_blacksmith", num_requests=2500),
+            mitigation=MitigationSpec(name="none", nrh=64),
+            platform=PlatformSpec(
+                controller=policy(
+                    refresh_policy="rfm", params={"raaimt": 16, "raammt": 32}
+                )
+            ),
+            verify_security="streaming",
+        )
+        result = execute_spec(spec)
+        assert result.security_ok
+        assert result.max_disturbance <= 2 * 16
+        # RFM traffic shows up in the energy breakdown (dram_stats keeps
+        # its golden 7-key shape; the DDR5 terms ride the energy dict).
+        assert result.energy.as_dict()["rfm_nj"] > 0

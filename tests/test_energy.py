@@ -105,3 +105,137 @@ class TestEnergyModel:
     def test_invalid_rank_count(self):
         with pytest.raises(ValueError):
             DRAMEnergyModel(num_ranks=0)
+
+
+class TestRefreshRowAccounting:
+    """Refresh energy is charged by rows covered, not by REF command count.
+
+    The 28 nJ ``refresh_energy_nj`` calibration is for an *all-bank* REF
+    covering ``rows_per_refresh`` rows.  Fine-granularity refresh issues
+    REF 2x/4x as often with each command covering proportionally fewer
+    rows; charging the flat per-REF constant overcharged FGR runs 2-4x.
+    """
+
+    def test_row_scaled_charge_matches_flat_charge_for_all_bank(self):
+        """All-bank REFs make the two formulas agree exactly: every REF
+        covers exactly ``rows_per_refresh`` rows."""
+        model = DRAMEnergyModel(num_ranks=1)
+        s = stats(refreshes=10)
+        s.refresh_rows = 10 * 16
+        charged = model.energy(s, 100_000, rows_per_refresh=16)
+        legacy = model.energy(stats(refreshes=10), 100_000)
+        assert charged.refresh_nj == pytest.approx(legacy.refresh_nj)
+        assert charged.refresh_nj == pytest.approx(
+            10 * DDR4EnergyParameters().refresh_energy_nj
+        )
+
+    def test_same_rows_same_energy_regardless_of_granularity(self):
+        """2x/4x as many REFs covering the same total rows cost the same."""
+        model = DRAMEnergyModel(num_ranks=1)
+        breakdowns = []
+        for granularity in (1, 2, 4):
+            s = stats(refreshes=10 * granularity)
+            s.refresh_rows = 160  # the same total row coverage each time
+            breakdowns.append(model.energy(s, 100_000, rows_per_refresh=16))
+        assert (
+            breakdowns[0].refresh_nj
+            == breakdowns[1].refresh_nj
+            == breakdowns[2].refresh_nj
+        )
+
+    def test_without_row_tracking_falls_back_to_flat_charge(self):
+        """Legacy stats (no refresh_rows) keep the historical accounting."""
+        model = DRAMEnergyModel(num_ranks=1)
+        flat = model.energy(stats(refreshes=7), 100_000, rows_per_refresh=16)
+        assert flat.refresh_nj == pytest.approx(
+            7 * DDR4EnergyParameters().refresh_energy_nj
+        )
+
+    def test_ddr5_terms_enter_total_and_as_dict_only_when_nonzero(self):
+        model = DRAMEnergyModel(num_ranks=1)
+        s = stats(acts=10)
+        s.rfms = 4
+        s.in_dram_refresh_rows = 8
+        s.counter_updates = 100
+        params = DDR4EnergyParameters()
+        breakdown = model.energy(s, 100_000)
+        assert breakdown.rfm_nj == pytest.approx(4 * params.rfm_energy_nj)
+        assert breakdown.in_dram_refresh_nj == pytest.approx(
+            8 * params.row_refresh_energy_nj
+        )
+        assert breakdown.counter_nj == pytest.approx(
+            100 * params.counter_update_energy_nj
+        )
+        assert breakdown.total_nj == pytest.approx(
+            breakdown.activation_nj
+            + breakdown.background_nj
+            + breakdown.rfm_nj
+            + breakdown.in_dram_refresh_nj
+            + breakdown.counter_nj
+        )
+        d = breakdown.as_dict()
+        assert {"rfm_nj", "in_dram_refresh_nj", "counter_nj"} <= set(d)
+
+    def test_normalized_energy_zero_baseline_raises(self):
+        """A zero-energy baseline means mis-wired statistics; 1.0 would
+        masquerade as 'no overhead'."""
+        model = DRAMEnergyModel(num_ranks=1)
+        run = stats(acts=100, reads=100)
+        with pytest.raises(ValueError, match="baseline energy is zero"):
+            model.normalized_energy(run, 10_000, stats(), 0)
+
+
+class TestFGRGranularityInvariance:
+    """End to end: the refresh *power* of a run is granularity-invariant.
+
+    The same benign workload under all-bank, FGR-2x and FGR-4x must spend
+    the same refresh energy per cycle to within boundary effects (the per-
+    REF ceil on row coverage and where REFs fall relative to the run's
+    edges).  Under the old flat per-REF charge FGR-2x/4x came out 2x/4.6x
+    higher - the overcharge this pins against."""
+
+    @pytest.fixture(scope="class")
+    def refresh_rates(self):
+        from repro.experiment.execute import execute_spec
+        from repro.experiment.spec import ExperimentSpec
+
+        rates = {}
+        for granularity in (1, 2, 4):
+            data = {
+                "workload": {"name": "synth_uniform", "num_requests": 10000},
+                "mitigation": {"name": "none", "nrh": 1},
+                "verify_security": False,
+            }
+            if granularity != 1:
+                data["platform"] = {
+                    "controller": {
+                        "refresh_policy": "fine_granularity",
+                        "params": {"refresh_granularity": granularity},
+                    }
+                }
+            result = execute_spec(ExperimentSpec.from_dict(data))
+            rates[granularity] = (
+                result.energy.as_dict()["refresh_nj"] / result.cycles,
+                result.dram_stats["refreshes"],
+                result.cycles,
+            )
+        return rates
+
+    def test_fgr_rates_match_all_bank(self, refresh_rates):
+        base_rate = refresh_rates[1][0]
+        for granularity in (2, 4):
+            rate = refresh_rates[granularity][0]
+            assert rate == pytest.approx(base_rate, rel=0.10), (
+                f"FGR-{granularity}x refresh power {rate:.3e} nJ/cycle vs "
+                f"all-bank {base_rate:.3e}"
+            )
+
+    def test_flat_charge_would_not_pass(self, refresh_rates):
+        """The counterfactual: charging 28 nJ per REF makes FGR-2x/4x
+        refresh power ~2x/~4x the all-bank rate."""
+        base_rate = refresh_rates[1][0]
+        refresh_nj = DDR4EnergyParameters().refresh_energy_nj
+        for granularity in (2, 4):
+            _, refreshes, cycles = refresh_rates[granularity]
+            flat_rate = refreshes * refresh_nj / cycles
+            assert flat_rate > base_rate * (granularity * 0.8)

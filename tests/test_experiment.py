@@ -51,6 +51,7 @@ class TestRegistry:
             "rega",
             "para",
             "blockhammer",
+            "prac",
         }
 
     def test_none_metadata_declared_once(self):

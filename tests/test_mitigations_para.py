@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mitigations.para import PARA, para_refresh_probability
+from repro.mitigations.para import PARA, para_is_feasible, para_refresh_probability
 from tests.conftest import make_address
 
 
@@ -30,6 +30,33 @@ class TestProbability:
             para_refresh_probability(100, 0.0)
         with pytest.raises(ValueError):
             para_refresh_probability(100, 1.5)
+
+
+class TestFeasibility:
+    """Below NRH ~ 50 the derived p makes the preventive-refresh cascade a
+    supercritical branching process (p * 2 * blast_radius >= 1): every
+    preventive ACT spawns more than one expected follow-on, so the storm
+    never dies out.  The constructor refuses to build that configuration."""
+
+    def test_boundary_sits_at_nrh_50(self):
+        assert para_is_feasible(50)
+        assert not para_is_feasible(49)
+        assert all(para_is_feasible(nrh) for nrh in (64, 125, 250, 1000))
+        assert not any(para_is_feasible(nrh) for nrh in (32, 20, 1))
+
+    def test_wider_blast_radius_raises_the_boundary(self):
+        # Four victims per trigger instead of two: supercritical at p >= 0.25.
+        assert para_is_feasible(125, blast_radius=2)
+        assert not para_is_feasible(100, blast_radius=2)
+
+    def test_derived_supercritical_probability_rejected(self):
+        with pytest.raises(ValueError, match="supercritical"):
+            PARA(nrh=32)
+
+    def test_explicit_probability_is_the_callers_choice(self):
+        # An explicit p bypasses the guard (short runs and unit tests
+        # legitimately explore the storm regime).
+        assert PARA(nrh=32, probability=0.66).probability == 0.66
 
 
 class TestPARA:

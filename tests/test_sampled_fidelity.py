@@ -196,3 +196,50 @@ class TestCacheHygiene:
         assert again.sampled == SampledConfig(
             interval=3000, detailed_window=300, warmup=100
         )
+
+
+class TestDDR5MechanismFidelity:
+    """PRAC/ABO and the RFM refresh policy keep their verdicts when sampled.
+
+    Both mechanisms' protective state advances during functional
+    fast-forward — PRAC's per-row counters through the replayed activation
+    stream, RFM's RAA accounting through the activation/refresh observers
+    (with the RAAMMT backstop applying the management action functionally,
+    since fast-forward runs no scheduler) — so a sampled run reaches the
+    same security verdict as the full-fidelity run it approximates.
+    """
+
+    def test_prac_verdict_and_disturbance_preserved(self):
+        attack = {"name": "synth_blacksmith", "num_requests": 6000}
+        full = execute_spec(_spec(attack, "prac", 64, verify="streaming"))
+        sampled = execute_spec(
+            _spec(attack, "prac", 64, fidelity="sampled", verify="streaming")
+        )
+        assert full.security_ok and sampled.security_ok
+        # The ABO alert threshold bounds disturbance identically in both
+        # modes: every activation is replayed into the in-DRAM counters.
+        assert full.max_disturbance < 64
+        assert sampled.max_disturbance == full.max_disturbance
+
+    def test_rfm_policy_verdict_preserved(self):
+        def spec(fidelity):
+            data = {
+                "workload": {"name": "synth_blacksmith", "num_requests": 6000},
+                "mitigation": {"name": "none", "nrh": 64},
+                "verify_security": "streaming",
+                "platform": {
+                    "controller": {
+                        "refresh_policy": "rfm",
+                        "params": {"raaimt": 16, "raammt": 32},
+                    }
+                },
+            }
+            if fidelity != "full":
+                data["fidelity"] = fidelity
+            return ExperimentSpec.from_dict(data)
+
+        full = execute_spec(spec("full"))
+        sampled = execute_spec(spec("sampled"))
+        assert full.security_ok and sampled.security_ok
+        assert full.max_disturbance < 64
+        assert sampled.max_disturbance < 64

@@ -27,6 +27,7 @@ class TestMitigationFactories:
             "rega",
             "para",
             "blockhammer",
+            "prac",
         }
 
     @pytest.mark.parametrize(
