@@ -8,8 +8,16 @@ Every benchmark regenerates one table or figure of the CoMeT paper
   workload is simulated once and reused by every figure that normalizes to it;
 * a result recorder that prints each regenerated table/figure at the end of
   the pytest session (so ``pytest benchmarks/ --benchmark-only`` shows the
-  rows/series the paper reports) and also writes them to
-  ``benchmarks/results/``.
+  rows/series the paper reports).
+
+Artifact policy: machine-readable JSON only.  The files that live (and are
+committed) under ``benchmarks/results/`` are the ``BENCH_*.json``
+artifacts the CI micro-benchmark job diffs against; the old per-figure
+``.txt`` twins were plain renderings of the same data, nothing read them,
+and they churned on every timing-sensitive run — so :func:`record` keeps
+figures in memory for the end-of-session printout and writes nothing to
+disk.  Benchmarks that want a persistent artifact write JSON explicitly
+(see ``test_micro_kernel_e2e.py``).
 
 Every simulation is described as an
 :class:`~repro.experiment.spec.ExperimentSpec` and executed through
@@ -64,11 +72,13 @@ def bench_workloads() -> List[str]:
 
 
 def record(title: str, text: str) -> None:
-    """Record a regenerated table/figure for the terminal summary and disk."""
+    """Record a regenerated table/figure for the end-of-session printout.
+
+    In-memory only — see the module docstring's artifact policy.  The
+    JSON artifacts under ``benchmarks/results/`` are written by the
+    benchmarks that own them, not here.
+    """
     _RECORDED.append((title, text))
-    RESULTS_DIR.mkdir(exist_ok=True)
-    slug = "".join(c if c.isalnum() else "_" for c in title.lower()).strip("_")
-    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n", encoding="utf-8")
 
 
 def recorded_results() -> List[Tuple[str, str]]:

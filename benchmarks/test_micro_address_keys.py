@@ -1,4 +1,7 @@
-"""Micro-benchmark: cached vs. per-read ``DRAMAddress`` bank/row keys.
+"""Micro-benchmarks for two construction/read hot spots outside the kernel.
+
+1. Cached vs. per-read ``DRAMAddress`` bank/row keys.
+2. Shared vs. per-instance hash-family constants (tracker construction).
 
 The FR-FCFS scheduler groups every queued request by ``bank_key`` on every
 command selection, so while a request waits in a deep (multi-core) queue its
@@ -22,6 +25,7 @@ from dataclasses import dataclass
 from _bench_utils import record
 from repro.analysis.reporting import format_table
 from repro.dram.address import DRAMAddress
+from repro.sketch import hashes
 
 NUM_ADDRESSES = 2000
 
@@ -104,3 +108,73 @@ def test_micro_cached_address_keys(benchmark):
     assert speedups[16] > 1.0
     # ... and rarely-read addresses must not regress badly (noise margin).
     assert speedups[1] > 0.5
+
+
+# --------------------------------------------------------------------------- #
+# Hash-family constant sharing
+# --------------------------------------------------------------------------- #
+#: The per-bank tracker shape: BlockHammer builds two CBFs per bank, CoMeT
+#: one Counter Table per bank, on a 2-channel/2-rank/8-bankgroup fabric —
+#: every one with the same (num_hashes, seed), so the constants are shared.
+NUM_FAMILIES = 64
+FAMILY_HASHES = 4
+FAMILY_BUCKETS = 512
+
+
+def _build_families(shift_mask_params, tabulation_tables):
+    """Construct the per-bank tracker families with injected param builders."""
+    for _ in range(NUM_FAMILIES):
+        shift_mask_params(FAMILY_HASHES, 0)
+        tabulation_tables(FAMILY_HASHES, 0)
+
+
+def _measure_families(shift_mask_params, tabulation_tables):
+    return min(
+        timeit.repeat(
+            lambda: _build_families(shift_mask_params, tabulation_tables),
+            number=5,
+            repeat=5,
+        )
+    )
+
+
+def test_micro_hash_family_constants(benchmark):
+    """Module-level constant sharing vs regenerating per construction.
+
+    The shipped param builders (:func:`repro.sketch.hashes._shift_mask_params`
+    etc.) are ``lru_cache``-shared across instances; ``.__wrapped__`` is the
+    pre-change behaviour — every family re-derives its constants (and, for
+    tabulation, 4x256 random table entries) from its own ``random.Random``.
+    This is the claim in :mod:`repro.sketch.hashes`'s docstring that shared
+    constants stop dominating per-bank tracker setup.
+    """
+    shared_s = _measure_families(
+        hashes._shift_mask_params, hashes._tabulation_tables
+    )
+    rebuilt_s = _measure_families(
+        hashes._shift_mask_params.__wrapped__,
+        hashes._tabulation_tables.__wrapped__,
+    )
+    speedup = rebuilt_s / shared_s
+    benchmark(
+        _build_families, hashes._shift_mask_params, hashes._tabulation_tables
+    )
+
+    record(
+        "micro_hash_family_constants",
+        format_table(
+            [
+                {
+                    "families": NUM_FAMILIES,
+                    "rebuilt_ms": round(rebuilt_s * 1e3, 2),
+                    "shared_ms": round(shared_s * 1e3, 3),
+                    "speedup_x": round(speedup, 1),
+                }
+            ],
+            title="Hash-family constants: shared (lru_cache) vs per-instance",
+        ),
+    )
+    # Regenerating tabulation tables alone is thousands of RNG draws per
+    # family; the shared path is a dict hit.  Enormous margin, so the floor
+    # can be strict without flaking.
+    assert speedup > 20.0

@@ -1,7 +1,7 @@
 """End-to-end benchmark: the whole-run hot path, legacy vs fast, in-process.
 
 The SoA bank-timing fast path (:mod:`repro.dram.bank`'s shared
-:class:`BankTimingTable` plus the controller's ``_fast_demand_command``
+:class:`BankTimingTable` plus the controller's fused fast select
 scan) and the kernel's untouched-channel event skip
 (:meth:`repro.sim.engine.EventKernel._schedule_controller`) are both
 latched from :mod:`repro.fastpath` at component construction time.  That
@@ -22,9 +22,16 @@ Three whole-run scenarios cover the simulator's load profiles:
   streaming verifier (the audit campaigns' shape).
 
 A fourth scenario, ``sampled_vs_full``, gates the sampled-fidelity executor
-(:mod:`repro.sim.sampled`): a long benign run must be >= 5x faster in
+(:mod:`repro.sim.sampled`): a long benign run must be >= 3x faster in
 sampled mode with IPC and max_disturbance inside the documented error
-bounds.
+bounds.  (The floor was 5x before the fused fast path cut the *full* run's
+time — the ratio's denominator — nearly in half.)
+
+A fifth scenario, ``campaign_warm_pool``, gates the shared warm worker
+pool (:mod:`repro.sim.pool`): a burst of consecutive short sweeps through
+the shared pool must never lose to the old per-run pool construction it
+replaced (and wins ~1.2x on fork platforms; much more where workers are
+spawned).
 
 Results land in ``benchmarks/results/BENCH_kernel.json``; the committed
 copy is the CI baseline (the micro-benchmark job re-measures and fails if
@@ -54,12 +61,15 @@ ARTIFACT = RESULTS_DIR / "BENCH_kernel.json"
 REPEATS = 2
 
 #: (label, spec, speedup floor).  The multi-core benign mix is the point of
-#: the fast path (~2x measured on an idle machine) and gets the hard >= 1.5x
-#: gate from the issue; the attack run must still win clearly; the
-#: streaming-audit run has the least skippable idle time (one hammered
-#: channel, short decision distances) so its win is the thinnest — after the
-#: ``_fast_demand_command`` micro-optimizations it measures 1.07-1.13x here,
-#: and its floor demands the fast path is never a loss on that shape.
+#: the fast path (~2x measured on an idle machine); the attack run must
+#: still win clearly.  The streaming-audit run has the least skippable idle
+#: time (one hammered channel, short decision distances), so its win has to
+#: come from per-event cost instead: the fused select
+#: (:meth:`~repro.controller.controller.MemoryController._build_fast_select`),
+#: the fused issue+bookkeeping closure (``_build_fast_issue``) and the
+#: kernel's inlined fast loop (``EventKernel._run_fast``) together measure
+#: ~1.6x on an idle machine, and its floor holds the headline >= 1.5x gate
+#: from the issue on exactly the audit-campaign shape.
 SCENARIOS = [
     (
         "single_core_attack",
@@ -87,14 +97,17 @@ SCENARIOS = [
             mitigation=MitigationSpec(name="comet", nrh=125),
             verify_security="streaming",
         ),
-        1.0,
+        1.5,
     ),
 ]
 
 #: The sampled-fidelity gate: a long benign run must be at least this much
 #: faster in sampled mode than in full fidelity while staying within the
 #: error bounds below (the tolerances mirror tests/test_sampled_fidelity.py).
-SAMPLED_SPEEDUP_FLOOR = 5.0
+#: Both modes run with the fast path on, so every detailed-path speedup
+#: *shrinks* this ratio (the fused select/issue work took the full run from
+#: ~5.9x to ~3.6x slower than sampled); the floor tracks the denominator.
+SAMPLED_SPEEDUP_FLOOR = 3.0
 SAMPLED_IPC_TOLERANCE = 0.15
 SAMPLED_DISTURBANCE_TOLERANCE = 0.5
 
@@ -151,6 +164,82 @@ def test_e2e_kernel_speedup(benchmark):
         assert speedup > floor, (
             f"{label}: whole-run speedup {speedup:.2f}x under the {floor}x floor"
         )
+
+
+#: The warm-pool gate: a burst of short consecutive sweeps reusing the
+#: shared pool must never lose to rebuilding the pool per run.  The floor is
+#: deliberately "not a loss" rather than a win: on fork platforms (Linux CI)
+#: pool construction is only process spawn, so the measured ~1.2x win sits
+#: close enough to timing noise that a harder floor would flake.
+WARM_POOL_FLOOR = 1.0
+WARM_POOL_RUNS = 6
+WARM_POOL_CELLS = 2
+WARM_POOL_REQUESTS = 200
+
+
+def _warm_pool_specs(tag):
+    return [
+        ExperimentSpec(
+            workload=WorkloadSpec(
+                name="synth_uniform",
+                num_requests=WARM_POOL_REQUESTS,
+                seed=100 * tag + s,
+            ),
+            mitigation=MitigationSpec(name="comet", nrh=250),
+            verify_security="streaming",
+        )
+        for s in range(WARM_POOL_CELLS)
+    ]
+
+
+def test_campaign_warm_pool():
+    """Consecutive short sweeps must not pay pool construction per run.
+
+    Models the audit-campaign steady state: many short cells arriving in
+    bursts.  "Cold" tears the shared pool down between bursts (the old
+    one-pool-per-``run()`` behaviour); "warm" reuses it the way
+    ``SweepRunner``/``CampaignRunner`` now do.  Cell results are identical
+    either way — workers rebuild the whole system per cell — so only the
+    wall clock may differ.
+    """
+    from repro.sim.pool import shutdown_shared_pool
+    from repro.sim.sweep import SweepRunner
+
+    runner = SweepRunner(max_workers=2, use_cache=False)
+    runner.run(_warm_pool_specs(999))  # warm the per-process trace memo
+
+    cold_seconds = 0.0
+    for i in range(WARM_POOL_RUNS):
+        shutdown_shared_pool()
+        start = time.perf_counter()
+        runner.run(_warm_pool_specs(i))
+        cold_seconds += time.perf_counter() - start
+    warm_seconds = 0.0
+    for i in range(WARM_POOL_RUNS):
+        start = time.perf_counter()
+        runner.run(_warm_pool_specs(100 + i))
+        warm_seconds += time.perf_counter() - start
+    speedup = cold_seconds / warm_seconds
+
+    artifact = (
+        json.loads(ARTIFACT.read_text())
+        if ARTIFACT.exists()
+        else {"repeats": REPEATS, "scenarios": {}}
+    )
+    artifact["scenarios"]["campaign_warm_pool"] = {
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup_x": speedup,
+        "runs": WARM_POOL_RUNS,
+        "cells_per_run": WARM_POOL_CELLS,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+
+    assert speedup > WARM_POOL_FLOOR, (
+        f"campaign_warm_pool: warm-pool sweeps {speedup:.2f}x vs per-run pools "
+        f"under the {WARM_POOL_FLOOR}x floor"
+    )
 
 
 def test_sampled_vs_full_speedup():

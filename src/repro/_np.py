@@ -1,0 +1,28 @@
+"""Central, optional numpy import for the vectorized fast paths.
+
+Every module that offers a numpy-backed kernel imports ``np`` from here
+instead of importing numpy directly, so the whole codebase degrades to its
+pure-Python implementations through a single switch:
+
+* numpy genuinely missing from the environment, or
+* ``REPRO_NO_NUMPY=1`` in the environment (the CI no-numpy job, and the
+  local way to exercise the fallback without uninstalling anything).
+
+``np`` is ``None`` when unavailable; callers latch a backend at
+construction time (``if np is not None: ...``) rather than re-checking per
+operation.
+"""
+
+from __future__ import annotations
+
+import os
+
+if os.environ.get("REPRO_NO_NUMPY") == "1":
+    np = None
+else:
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised via REPRO_NO_NUMPY
+        np = None
+
+HAVE_NUMPY = np is not None

@@ -81,18 +81,36 @@ class SecurityVerifier:
         #: and ``violations`` stays empty.
         self.record_violations = record_violations
         self._disturbance: Dict[RowKey, int] = {}
-        self.violations: List[SecurityViolation] = []
-        self.violation_count = 0
-        self.first_violation_cycle: Optional[int] = None
-        self.max_disturbance = 0
+        self._violations: List[SecurityViolation] = []
+        self._violation_count = 0
+        self._first_violation_cycle: Optional[int] = None
+        self._max_disturbance = 0
         self.rows_per_bank = dram.config.organization.rows_per_bank
-        dram.add_activation_observer(self._on_activation)
+        # Streaming audits on a fast-path DRAM system receive ACT events in
+        # batches at the model's drain points (refresh boundaries, snapshot,
+        # window end) instead of one callback per ACT; the verdict is
+        # bit-identical because event order is preserved and the model
+        # drains the buffer before any refresh notification.  Every public
+        # result accessor flushes first, so partial batches are never
+        # visible.  Recording audits keep per-event delivery: the
+        # violation list is cheap to reason about when it grows in lockstep
+        # with the command stream.
+        self._batched = not record_violations and getattr(dram, "_fast", False)
+        if self._batched:
+            dram.add_batch_activation_observer(self.observe_batch)
+        else:
+            dram.add_activation_observer(self._on_activation)
         dram.add_refresh_observer(self._on_rank_refresh)
         dram.add_row_refresh_observer(self._on_row_refresh)
 
     # ------------------------------------------------------------------ #
     # Observers
     # ------------------------------------------------------------------ #
+    def _flush(self) -> None:
+        """Drain the DRAM model's pending ACT batch into this verifier."""
+        if self._batched:
+            self.dram.flush_activations()
+
     def _on_activation(self, cycle: int, address: DRAMAddress, is_preventive: bool) -> None:
         base = (address.channel, address.rank, address.bankgroup, address.bank)
         for distance in range(1, self.blast_radius + 1):
@@ -103,18 +121,65 @@ class SecurityVerifier:
                 key = base + (victim_row,)
                 value = self._disturbance.get(key, 0) + 1
                 self._disturbance[key] = value
-                if value > self.max_disturbance:
-                    self.max_disturbance = value
+                if value > self._max_disturbance:
+                    self._max_disturbance = value
                 if value >= self.nrh:
-                    self.violation_count += 1
-                    if self.first_violation_cycle is None:
-                        self.first_violation_cycle = cycle
+                    self._violation_count += 1
+                    if self._first_violation_cycle is None:
+                        self._first_violation_cycle = cycle
                     if self.record_violations:
-                        self.violations.append(
+                        self._violations.append(
                             SecurityViolation(
                                 cycle=cycle, victim=key, disturbance=value, nrh=self.nrh
                             )
                         )
+
+    def observe_batch(self, cycles, addresses, flags) -> None:
+        """Batched form of :meth:`_on_activation` (same math, hoisted loop).
+
+        Equivalence with the serial observer is property-tested in
+        ``tests/test_observer_batch.py``.  ``flags`` is accepted for protocol
+        uniformity; preventive ACTs disturb their neighbours exactly like
+        demand ACTs (the refreshed victim row is cleared separately through
+        the row-refresh observer).
+        """
+        disturbance = self._disturbance
+        get = disturbance.get
+        nrh = self.nrh
+        rows_per_bank = self.rows_per_bank
+        record = self.record_violations
+        max_disturbance = self._max_disturbance
+        violation_count = self._violation_count
+        first_violation = self._first_violation_cycle
+        if self.blast_radius == 1:
+            for cycle, address in zip(cycles, addresses):
+                base = (address.channel, address.rank, address.bankgroup, address.bank)
+                row = address.row
+                for victim_row in (row - 1, row + 1):
+                    if not 0 <= victim_row < rows_per_bank:
+                        continue
+                    key = base + (victim_row,)
+                    value = get(key, 0) + 1
+                    disturbance[key] = value
+                    if value > max_disturbance:
+                        max_disturbance = value
+                    if value >= nrh:
+                        violation_count += 1
+                        if first_violation is None:
+                            first_violation = cycle
+                        if record:
+                            self._violations.append(
+                                SecurityViolation(
+                                    cycle=cycle, victim=key,
+                                    disturbance=value, nrh=nrh,
+                                )
+                            )
+            self._max_disturbance = max_disturbance
+            self._violation_count = violation_count
+            self._first_violation_cycle = first_violation
+            return
+        for cycle, address, is_preventive in zip(cycles, addresses, flags):
+            self._on_activation(cycle, address, is_preventive)
 
     def _on_row_refresh(self, cycle: int, address: DRAMAddress) -> None:
         key = (address.channel, address.rank, address.bankgroup, address.bank, address.row)
@@ -139,14 +204,15 @@ class SecurityVerifier:
     # ------------------------------------------------------------------ #
     def snapshot(self) -> Dict:
         """Plain-data checkpoint of the disturbance state and verdict."""
+        self._flush()
         return {
             "disturbance": list(self._disturbance.items()),
             "violations": [
-                dict(vars(violation)) for violation in self.violations
+                dict(vars(violation)) for violation in self._violations
             ],
-            "violation_count": self.violation_count,
-            "first_violation_cycle": self.first_violation_cycle,
-            "max_disturbance": self.max_disturbance,
+            "violation_count": self._violation_count,
+            "first_violation_cycle": self._first_violation_cycle,
+            "max_disturbance": self._max_disturbance,
         }
 
     def restore(self, state: Dict) -> None:
@@ -154,7 +220,7 @@ class SecurityVerifier:
         self._disturbance = {
             tuple(key): value for key, value in state["disturbance"]
         }
-        self.violations = [
+        self._violations = [
             SecurityViolation(
                 cycle=violation["cycle"],
                 victim=tuple(violation["victim"]),
@@ -163,13 +229,36 @@ class SecurityVerifier:
             )
             for violation in state["violations"]
         ]
-        self.violation_count = state["violation_count"]
-        self.first_violation_cycle = state["first_violation_cycle"]
-        self.max_disturbance = state["max_disturbance"]
+        self._violation_count = state["violation_count"]
+        self._first_violation_cycle = state["first_violation_cycle"]
+        self._max_disturbance = state["max_disturbance"]
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
+    # The result accessors flush the DRAM model's pending ACT batch first,
+    # so callers never observe a partially delivered window.
+
+    @property
+    def violations(self) -> List[SecurityViolation]:
+        self._flush()
+        return self._violations
+
+    @property
+    def violation_count(self) -> int:
+        self._flush()
+        return self._violation_count
+
+    @property
+    def first_violation_cycle(self) -> Optional[int]:
+        self._flush()
+        return self._first_violation_cycle
+
+    @property
+    def max_disturbance(self) -> int:
+        self._flush()
+        return self._max_disturbance
+
     @property
     def is_secure(self) -> bool:
         return self.violation_count == 0
@@ -180,11 +269,13 @@ class SecurityVerifier:
         return self.max_disturbance / self.nrh
 
     def disturbance_of(self, address: DRAMAddress) -> int:
+        self._flush()
         key = (address.channel, address.rank, address.bankgroup, address.bank, address.row)
         return self._disturbance.get(key, 0)
 
     def worst_victims(self, top: int = 10) -> List[Tuple[RowKey, int]]:
         """The ``top`` victims with the highest current disturbance."""
+        self._flush()
         ordered = sorted(self._disturbance.items(), key=lambda item: item[1], reverse=True)
         return ordered[:top]
 

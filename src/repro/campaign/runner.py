@@ -25,7 +25,7 @@ from __future__ import annotations
 import os
 import socket
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, Union
@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 from repro.campaign.queue import DEFAULT_LEASE, WorkItem, WorkQueue, create_backend
 from repro.campaign.store import ResultStore
 from repro.experiment.spec import CampaignSpec, ExperimentSpec
+from repro.sim.pool import shared_pool
 from repro.sim.system import SimulationResult
 
 #: Campaign checkpoint schema version.
@@ -207,11 +208,10 @@ class CampaignRunner:
         budget = self.budget
         executed = 0
         inflight: Dict[Future, Tuple[WorkItem, ExperimentSpec]] = {}
-        pool = (
-            ProcessPoolExecutor(max_workers=self.max_workers)
-            if self.max_workers > 1
-            else None
-        )
+        # The shared warm pool (see repro.sim.pool) is reused across runs
+        # and runners: workers stay hot, with the registry pre-imported, so
+        # short cells stop paying spawn + import per campaign.
+        pool = shared_pool(self.max_workers) if self.max_workers > 1 else None
         try:
             while True:
                 may_start = budget is None or executed + len(inflight) < budget
@@ -249,8 +249,13 @@ class CampaignRunner:
                     # their leases to run out, then steal the work back.
                     time.sleep(self.poll_interval)
         finally:
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
+            if inflight:
+                # Abandoning mid-run (an exception): let the claimed cells
+                # finish in the warm pool — their leases expire and another
+                # runner re-executes them — but never kill the shared pool;
+                # it stays hot for the next campaign (atexit owns it).
+                for future in inflight:
+                    future.cancel()
         return self.status(executed=executed)
 
     def _complete(

@@ -55,6 +55,7 @@ from repro.controller.policies import (
     ControllerPolicySpec,
     DEFAULT_POLICY,
     RowPolicy,
+    SchedulingPolicy,
 )
 from repro.controller.request import MemoryRequest, RequestType
 from repro.dram.address import AddressMapper, DRAMAddress
@@ -129,15 +130,22 @@ class _BankPending:
     the old full-queue scan first encountered each bank.
     """
 
-    __slots__ = ("requests", "min_seq")
+    __slots__ = ("requests", "min_seq", "row_counts")
 
     def __init__(self) -> None:
         self.requests: List[MemoryRequest] = []
         self.min_seq: int = NEVER
+        #: Pending-request count per row.  The FR-FCFS hit scan only has to
+        #: walk ``requests`` when the open row actually has a pending
+        #: request (``open_row in row_counts``); under a hammering pattern
+        #: nearly every selection is a conflict and the scan is skipped.
+        self.row_counts: Dict[int, int] = {}
 
     def add(self, request: MemoryRequest, seq: int) -> None:
         if seq < self.min_seq:
             self.min_seq = seq
+        row = request.address.row
+        self.row_counts[row] = self.row_counts.get(row, 0) + 1
         requests = self.requests
         if not requests or _request_sort_key(requests[-1]) <= _request_sort_key(request):
             requests.append(request)
@@ -148,6 +156,12 @@ class _BankPending:
 
     def remove(self, request: MemoryRequest) -> None:
         self.requests.remove(request)
+        row = request.address.row
+        count = self.row_counts[row] - 1
+        if count:
+            self.row_counts[row] = count
+        else:
+            del self.row_counts[row]
         if getattr(request, "_enqueue_seq", NEVER) == self.min_seq:
             self.min_seq = min(
                 (getattr(r, "_enqueue_seq", NEVER) for r in self.requests),
@@ -242,6 +256,12 @@ class MemoryController:
         self._fast_demand = fastpath.enabled() and getattr(
             self.scheduler, "SUPPORTS_FAST_SCAN", False
         )
+        #: Under the fast path, decisions are issued with ``validated=True``:
+        #: every path through _choose_command computes the command's earliest
+        #: legal cycle before deciding, and the event kernel re-validates
+        #: cached decisions (mutation counter + decision_crosses_boundary),
+        #: so the DRAM model's own recheck in issue() is pure overhead.
+        self._fast_issue = fastpath.enabled()
         #: Static proof that the row policy never emits close candidates
         #: (the default open-page case), letting the fast scan skip the
         #: close-candidate pass entirely.
@@ -301,6 +321,30 @@ class MemoryController:
             self.dram.add_refresh_observer(self._on_refresh)
         if self._refresh_policy_rfm:
             self.refresh_policy.attach(self)
+        #: The fused command select with every construction-stable input
+        #: pre-bound (fast path only; the generic chain reads ``self``
+        #: directly).  Built last: it binds the queues, indexes, caches and
+        #: the attached mitigation's hook resolutions.
+        self._fast_select = (
+            self._build_fast_select() if self._fast_demand else None
+        )
+        #: The fused issue+bookkeeping path (fast path only): one closure
+        #: covering ``DRAMSystem.issue`` plus :meth:`_post_issue` for the
+        #: per-command kinds (ACT/PRE/RD/WR) with no-op policy hooks
+        #: resolved away.  Guarded against subclass/instance overrides of
+        #: the methods it inlines so specialized models keep the generic
+        #: path; pinned by the same identity tests as the fast select.
+        self._fast_issue_fn = (
+            self._build_fast_issue()
+            if (
+                self._fast_issue
+                and self._fast_demand
+                and type(self)._post_issue is MemoryController._post_issue
+                and type(self.dram).issue is DRAMSystem.issue
+                and "issue" not in self.dram.__dict__
+            )
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # External interface (cores, mitigations)
@@ -442,10 +486,13 @@ class MemoryController:
         self, decision: Tuple[int, Command, Optional[MemoryRequest]]
     ) -> int:
         """Issue a decision produced by :meth:`next_decision`; returns its cycle."""
+        fused = self._fast_issue_fn
+        if fused is not None:
+            return fused(decision)
         issue_cycle, command, request = decision
         self.mutations += 1
         self.current_cycle = issue_cycle
-        result = self.dram.issue(command, issue_cycle)
+        result = self.dram.issue(command, issue_cycle, validated=self._fast_issue)
         self._post_issue(command, request, issue_cycle, result)
         return issue_cycle
 
@@ -498,6 +545,11 @@ class MemoryController:
         self, cycle: int
     ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
         """Pick the highest-priority issuable command and its issue cycle."""
+        if self._fast_demand:
+            # The fused fast select covers the whole priority chain
+            # (refresh > RFM > preventive > demand) with cheap pre-bound
+            # guards; same decisions, pinned by the identity tests.
+            return self._fast_select(cycle)
         refresh_decision = self._refresh_command(cycle)
         if refresh_decision is not None:
             return refresh_decision
@@ -681,40 +733,148 @@ class MemoryController:
             blocked = self.mitigation.demand_blocked_until(cycle)
             if blocked > cycle:
                 cycle = blocked
-        if self._fast_demand:
-            return self._fast_demand_command(cycle)
         return self._generic_demand_command(cycle)
 
-    def _fast_demand_command(
-        self, cycle: int
-    ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
-        """FR-FCFS demand scan against the struct-of-arrays timing table.
+    def _build_fast_select(self):
+        """Build the fused fast command select with every invariant pre-bound.
 
-        Semantically identical to :meth:`_generic_demand_command` with the
-        default scheduler — same bank iteration order, same early-exit
-        hit/conflict scan, same ``(issue_cycle, arrival, scan_key)`` ordering
-        and the same mitigation-throttle evaluation per closed-bank candidate
-        — but it reads the shared :class:`~repro.dram.bank.BankTimingTable`
-        arrays and rank scalars directly and constructs a single
+        One closure covers :meth:`_choose_command`'s whole priority chain.
+        The refresh, RFM and preventive stages run behind cheap guards that
+        replicate each helper's own "nothing to do" test (a due/owed rank, an
+        attached active refresh policy, a non-empty preventive queue) and
+        delegate to the existing helper the moment the guard trips — so the
+        rarely-taken stages stay one implementation.  The demand stage is the
+        FR-FCFS scan against the struct-of-arrays timing table: semantically
+        identical to :meth:`_generic_demand_command` with the default
+        scheduler — same bank iteration order, same early-exit hit/conflict
+        scan, same ``(issue_cycle, arrival, scan_key)`` ordering — but it
+        reads the shared :class:`~repro.dram.bank.BankTimingTable` arrays and
+        rank scalars directly and constructs a single
         :class:`~repro.dram.commands.Command` for the winner, instead of
         materializing one per candidate through ``Bank``/``Rank`` method
         chains.  Equivalence is pinned by ``tests/test_fastpath_identity.py``
         and the golden traces.
+
+        Selection runs once per scheduling decision, and on low-parallelism
+        shapes (one pending bank) rebinding its ~30 invariant inputs from
+        ``self`` dominated its cost — so they are bound once here as closure
+        defaults.  Everything bound is construction-stable: the timing-table
+        lists, bus dicts and refresh-due dicts are mutated in place (never
+        reassigned — see ``DRAMSystem.restore``/``MemoryController.restore``),
+        and the queues/indexes/caches live for the controller's lifetime.
+        The mitigation's ACT throttle is pre-resolved to ``None`` when it is
+        the base-class no-op (CoMeT, PARA, Hydra...) so only real throttlers
+        (BlockHammer) pay the per-candidate call.
         """
-        self._update_drain_mode()
-        reads_active = bool(self.read_queue)
-        writes_active = bool(self.write_queue) and (
-            self._draining_writes or not self.read_queue
+        from repro.mitigations.base import RowHammerMitigation
+
+        dram = self.dram
+        table = dram.timing_table
+        timing = self.dram_config.timing
+        mitigation = self.mitigation
+        act_throttled = mitigation is not None and (
+            type(mitigation).act_allowed_cycle
+            is not RowHammerMitigation.act_allowed_cycle
         )
 
-        best_order: Optional[tuple] = None
-        best_kind: Optional[CommandKind] = None
-        best_command: Optional[Command] = None
-        best_request: Optional[MemoryRequest] = None
+        def select(
+            cycle: int,
+            *,
+            self=self,
+            refresh_enabled=self.dram_config.refresh_enabled,
+            rank_keys=tuple(self._rank_keys),
+            next_refresh_due=self.next_refresh_due,
+            extra_rank_refreshes=self.extra_rank_refreshes,
+            refresh_command=self._refresh_command,
+            refresh_policy_rfm=self._refresh_policy_rfm,
+            preventive_queue=self.preventive_queue,
+            preventive_command=self._preventive_command,
+            mitigation_blocks=self._mitigation_blocks,
+            demand_blocked_until=(
+                mitigation.demand_blocked_until
+                if self._mitigation_blocks
+                else None
+            ),
+            update_drain_mode=self._update_drain_mode,
+            read_queue=self.read_queue,
+            write_queue=self.write_queue,
+            row_policy_closes=self._row_policy_closes,
+            open_rows=table.open_row,
+            col_accesses=table.col_accesses,
+            next_act=table.next_act,
+            next_pre=table.next_pre,
+            next_read=table.next_read,
+            next_write=table.next_write,
+            tRRD_L=timing.tRRD_L,
+            tRRD_S=timing.tRRD_S,
+            tFAW=timing.tFAW,
+            tCCD_L=timing.tCCD_L,
+            tCCD_S=timing.tCCD_S,
+            tWTR_L=timing.tWTR_L,
+            tWTR_S=timing.tWTR_S,
+            tRTW=timing.tRTW,
+            tCL=timing.tCL,
+            tCWL=timing.tCWL,
+            command_bus_free=dram._command_bus_free,
+            data_bus_free=dram._data_bus_free,
+            column_cap=self.config.column_cap,
+            act_allowed_cycle=(
+                mitigation.act_allowed_cycle if act_throttled else None
+            ),
+            merged_cache=self._merged_cache,
+            bank_meta=self._bank_meta,
+            ranks=dram.ranks,
+            all_bank_reads=self._bank_reads,
+            all_bank_writes=self._bank_writes,
+            ACT=CommandKind.ACT,
+            PRE=CommandKind.PRE,
+            RD=CommandKind.RD,
+            WR=CommandKind.WR,
+        ) -> Optional[Tuple[int, Command, Optional[MemoryRequest]]]:
+            # Stage 1: periodic refresh (outranks everything).  The guard is
+            # _refresh_command's own per-rank "due or owed" test; the helper
+            # runs only when some rank trips it.
+            if refresh_enabled:
+                for rank_key in rank_keys:
+                    if (
+                        cycle >= next_refresh_due[rank_key]
+                        or extra_rank_refreshes[rank_key]
+                    ):
+                        decision = refresh_command(cycle)
+                        if decision is not None:
+                            return decision
+                        break
+            # Stage 2: owed bank-scoped RFMs (DDR5 active refresh policies).
+            if refresh_policy_rfm:
+                decision = self._rfm_command(cycle)
+                if decision is not None:
+                    return decision
+            # Stage 3: queued preventive refreshes (priority over demand).
+            # On an empty queue _preventive_command is a no-op returning
+            # None (nothing to prune, nothing to scan), so the truthiness
+            # guard is exact.
+            if preventive_queue:
+                decision = preventive_command(cycle)
+                if decision is not None:
+                    return decision
+            # Stage 4: demand, stalled by Alert Back-Off when asserted.
+            if mitigation_blocks:
+                blocked = demand_blocked_until(cycle)
+                if blocked > cycle:
+                    cycle = blocked
+            update_drain_mode()
+            reads_active = bool(read_queue)
+            writes_active = bool(write_queue) and (
+                self._draining_writes or not read_queue
+            )
 
-        if reads_active or writes_active:
-            bank_reads = self._bank_reads if reads_active else _NO_PENDING
-            bank_writes = self._bank_writes if writes_active else _NO_PENDING
+            best_order: Optional[tuple] = None
+            best_kind: Optional[CommandKind] = None
+            best_command: Optional[Command] = None
+            best_request: Optional[MemoryRequest] = None
+
+            bank_reads = all_bank_reads if reads_active else _NO_PENDING
+            bank_writes = all_bank_writes if writes_active else _NO_PENDING
             if not bank_writes:
                 # Common case (reads only): scan the read index in place —
                 # no combined key list to allocate.
@@ -726,29 +886,6 @@ class MemoryController:
                 bank_keys.extend(
                     key for key in bank_writes if key not in bank_reads
                 )
-
-            dram = self.dram
-            table = dram.timing_table
-            open_rows = table.open_row
-            col_accesses = table.col_accesses
-            next_act = table.next_act
-            next_pre = table.next_pre
-            next_read = table.next_read
-            next_write = table.next_write
-            timing = self.dram_config.timing
-            tRRD_L, tRRD_S, tFAW = timing.tRRD_L, timing.tRRD_S, timing.tFAW
-            tCCD_L, tCCD_S = timing.tCCD_L, timing.tCCD_S
-            tWTR_L, tWTR_S, tRTW = timing.tWTR_L, timing.tWTR_S, timing.tRTW
-            tCL, tCWL = timing.tCL, timing.tCWL
-            command_bus_free = dram._command_bus_free
-            data_bus_free = dram._data_bus_free
-            column_cap = self.config.column_cap
-            mitigation = self.mitigation
-            merged_cache = self._merged_cache
-            bank_meta = self._bank_meta
-            ranks = dram.ranks
-            ACT, PRE = CommandKind.ACT, CommandKind.PRE
-            RD, WR = CommandKind.RD, CommandKind.WR
 
             for bank_key in bank_keys:
                 reads = bank_reads.get(bank_key)
@@ -800,10 +937,8 @@ class MemoryController:
                         ready = recent[0] + tFAW
                         if ready > issue:
                             issue = ready
-                    if mitigation is not None:
-                        allowed = mitigation.act_allowed_cycle(
-                            request.address, issue
-                        )
+                    if act_allowed_cycle is not None:
+                        allowed = act_allowed_cycle(request.address, issue)
                         if allowed > issue:
                             issue = allowed
                     kind = ACT
@@ -811,16 +946,29 @@ class MemoryController:
                     cap_reached = col_accesses[bank_index] >= column_cap
                     first_hit: Optional[MemoryRequest] = None
                     first_conflict: Optional[MemoryRequest] = None
-                    for request in pending:
-                        if request.address.row == row:
-                            if first_hit is None:
-                                first_hit = request
-                                if not cap_reached or first_conflict is not None:
+                    # The row index answers "any pending hit?" without
+                    # walking the list; when there is none (every selection
+                    # under a hammering pattern) the oldest request is the
+                    # conflict and the scan below is skipped entirely.
+                    if reads is None:
+                        has_hit = row in writes.row_counts
+                    elif writes is None:
+                        has_hit = row in reads.row_counts
+                    else:
+                        has_hit = row in reads.row_counts or row in writes.row_counts
+                    if not has_hit:
+                        first_conflict = pending[0]
+                    else:
+                        for request in pending:
+                            if request.address.row == row:
+                                if first_hit is None:
+                                    first_hit = request
+                                    if not cap_reached or first_conflict is not None:
+                                        break
+                            elif first_conflict is None:
+                                first_conflict = request
+                                if first_hit is not None:
                                     break
-                        elif first_conflict is None:
-                            first_conflict = request
-                            if first_hit is not None:
-                                break
                     if first_hit is not None and not (
                         cap_reached and first_conflict is not None
                     ):
@@ -878,65 +1026,67 @@ class MemoryController:
                     best_kind = kind
                     best_request = request
 
-        if self._row_policy_closes:
-            for bank_key, opened_cycle, not_before in self.row_policy.close_candidates(
-                self, cycle
-            ):
-                bank = self.dram.bank(*bank_key)
-                if bank.is_closed():
-                    continue
-                command = Command(
-                    CommandKind.PRE,
-                    channel=bank_key[0],
-                    rank=bank_key[1],
-                    bankgroup=bank_key[2],
-                    bank=bank_key[3],
-                    metadata={"policy_close": True},
-                )
-                issue_cycle = self.dram.earliest_issue_cycle(
-                    command, max(cycle, not_before)
-                )
-                order = (
-                    issue_cycle,
-                    *self.scheduler.close_priority(opened_cycle),
-                    (2, *bank_key),
-                )
-                if best_order is None or order < best_order:
-                    best_order = order
-                    best_command = command
-                    best_request = None
+            if row_policy_closes:
+                for bank_key, opened_cycle, not_before in (
+                    self.row_policy.close_candidates(self, cycle)
+                ):
+                    bank = self.dram.bank(*bank_key)
+                    if bank.is_closed():
+                        continue
+                    command = Command(
+                        PRE,
+                        channel=bank_key[0],
+                        rank=bank_key[1],
+                        bankgroup=bank_key[2],
+                        bank=bank_key[3],
+                        metadata={"policy_close": True},
+                    )
+                    issue_cycle = self.dram.earliest_issue_cycle(
+                        command, max(cycle, not_before)
+                    )
+                    order = (
+                        issue_cycle,
+                        *self.scheduler.close_priority(opened_cycle),
+                        (2, *bank_key),
+                    )
+                    if best_order is None or order < best_order:
+                        best_order = order
+                        best_command = command
+                        best_request = None
 
-        if best_order is None:
-            return None
-        if best_command is None:
-            address = best_request.address
-            if best_kind is CommandKind.ACT:
-                best_command = Command(
-                    CommandKind.ACT,
-                    channel=address.channel,
-                    rank=address.rank,
-                    bankgroup=address.bankgroup,
-                    bank=address.bank,
-                    row=address.row,
-                )
-            elif best_kind is CommandKind.PRE:
-                best_command = Command(
-                    CommandKind.PRE,
-                    channel=address.channel,
-                    rank=address.rank,
-                    bankgroup=address.bankgroup,
-                    bank=address.bank,
-                )
-            else:
-                best_command = Command(
-                    best_kind,
-                    channel=address.channel,
-                    rank=address.rank,
-                    bankgroup=address.bankgroup,
-                    bank=address.bank,
-                    column=address.column,
-                )
-        return best_order[0], best_command, best_request
+            if best_order is None:
+                return None
+            if best_command is None:
+                address = best_request.address
+                if best_kind is ACT:
+                    best_command = Command(
+                        ACT,
+                        channel=address.channel,
+                        rank=address.rank,
+                        bankgroup=address.bankgroup,
+                        bank=address.bank,
+                        row=address.row,
+                    )
+                elif best_kind is PRE:
+                    best_command = Command(
+                        PRE,
+                        channel=address.channel,
+                        rank=address.rank,
+                        bankgroup=address.bankgroup,
+                        bank=address.bank,
+                    )
+                else:
+                    best_command = Command(
+                        best_kind,
+                        channel=address.channel,
+                        rank=address.rank,
+                        bankgroup=address.bankgroup,
+                        bank=address.bank,
+                        column=address.column,
+                    )
+            return best_order[0], best_command, best_request
+
+        return select
 
     def _generic_demand_command(
         self, cycle: int
@@ -1106,6 +1256,170 @@ class MemoryController:
         for callback in self._slot_free_callbacks:
             callback()
 
+    def _build_fast_issue(self):
+        """Build the fused issue path for the fast demand scan.
+
+        One closure replays ``DRAMSystem.issue`` + :meth:`_post_issue` for
+        the per-bank command kinds (ACT/PRE/RD/WR) with every
+        construction-stable input pre-bound, the no-op policy hooks
+        resolved away (the default FR-FCFS scheduler and open-page row
+        policy observe nothing), and the ACT-event :class:`DRAMAddress`
+        memoized per row — hammering workloads re-activate the same rows by
+        construction.  REF and RFM are once-per-tREFI rare and take the
+        generic path unchanged.  Semantically this must stay a line-by-line
+        transliteration of the two methods it fuses; the whole-run identity
+        tests (``tests/test_fastpath_identity.py``) and the golden traces
+        pin that equivalence.
+        """
+        dram = self.dram
+        scheduler = self.scheduler
+        row_policy = self.row_policy
+
+        def issue_fused(
+            decision,
+            *,
+            self=self,
+            dram=dram,
+            ranks=dram.ranks,
+            dram_stats=dram.stats,
+            ctl_stats=self.stats,
+            command_bus_free=dram._command_bus_free,
+            data_bus_free=dram._data_bus_free,
+            deliver_activation=dram.deliver_activation,
+            notify_row_refresh=dram.notify_row_refresh,
+            on_act_hook=(
+                row_policy.on_act
+                if type(row_policy).on_act is not RowPolicy.on_act
+                else None
+            ),
+            on_pre_hook=(
+                row_policy.on_pre
+                if type(row_policy).on_pre is not RowPolicy.on_pre
+                else None
+            ),
+            on_issue_hook=(
+                scheduler.on_issue
+                if type(scheduler).on_issue is not SchedulingPolicy.on_issue
+                else None
+            ),
+            read_queue=self.read_queue,
+            write_queue=self.write_queue,
+            preventive_queue=self.preventive_queue,
+            unindex_request=self._unindex_request,
+            slot_free_callbacks=self._slot_free_callbacks,
+            act_addresses={},
+            act_memo_limit=1 << 20,
+            PREVENTIVE_REFRESH=RequestType.PREVENTIVE_REFRESH,
+            ACT=CommandKind.ACT,
+            PRE=CommandKind.PRE,
+            RD=CommandKind.RD,
+            WR=CommandKind.WR,
+            DRAMAddress=DRAMAddress,
+        ):
+            issue_cycle, command, request = decision
+            self.mutations += 1
+            self.current_cycle = issue_cycle
+            kind = command.kind
+            if kind is not ACT and kind is not PRE and kind is not RD and kind is not WR:
+                # REF / RFM: rank-scoped, rare, and full of policy plumbing
+                # — the generic path costs nothing at their rate.
+                result = dram.issue(command, issue_cycle, validated=True)
+                self._post_issue(command, request, issue_cycle, result)
+                return issue_cycle
+            channel = command.channel
+            rank_id = command.rank
+            bankgroup = command.bankgroup
+            bank = command.bank
+            rank = ranks[(channel, rank_id)]
+            if issue_cycle > dram.current_cycle:
+                dram.current_cycle = issue_cycle
+            command_bus_free[channel] = issue_cycle + 1
+            bank_key = (channel, rank_id, bankgroup, bank)
+
+            if kind is ACT:
+                preventive = command.is_preventive
+                rank.apply_act(issue_cycle, bankgroup, bank, command.row, preventive)
+                dram_stats.acts += 1
+                if preventive:
+                    dram_stats.preventive_acts += 1
+                row_key = (channel, rank_id, bankgroup, bank, command.row)
+                address = act_addresses.get(row_key)
+                if address is None:
+                    address = DRAMAddress(
+                        channel=channel,
+                        rank=rank_id,
+                        bankgroup=bankgroup,
+                        bank=bank,
+                        row=command.row,
+                        column=0,
+                    )
+                    if len(act_addresses) < act_memo_limit:
+                        act_addresses[row_key] = address
+                deliver_activation(issue_cycle, address, preventive)
+                if preventive:
+                    notify_row_refresh(issue_cycle, address)
+                if on_act_hook is not None:
+                    on_act_hook(bank_key, issue_cycle)
+                if request is not None:
+                    if request.request_type is PREVENTIVE_REFRESH:
+                        request.__dict__["_refresh_activated"] = True
+                    else:
+                        ctl_stats.row_misses += 1
+                if on_issue_hook is not None:
+                    on_issue_hook(command, request, issue_cycle)
+                return issue_cycle
+
+            if kind is PRE:
+                rank.apply_pre(issue_cycle, bankgroup, bank)
+                dram_stats.pres += 1
+                if on_pre_hook is not None:
+                    on_pre_hook(bank_key)
+                if request is not None:
+                    if request.request_type is PREVENTIVE_REFRESH:
+                        if request.__dict__.get("_refresh_activated", False):
+                            preventive_queue.remove(request)
+                            request.complete(issue_cycle)
+                            dram_stats.preventive_refresh_pairs += 1
+                            for callback in slot_free_callbacks:
+                                callback()
+                        elif command.metadata.get("policy_close"):
+                            ctl_stats.policy_precharges += 1
+                    else:
+                        ctl_stats.row_conflicts += 1
+                elif command.metadata.get("policy_close"):
+                    ctl_stats.policy_precharges += 1
+                if on_issue_hook is not None:
+                    on_issue_hook(command, request, issue_cycle)
+                return issue_cycle
+
+            # RD / WR
+            is_write = kind is WR
+            bank_state = rank.banks[(bankgroup, bank)]
+            data_end = rank.apply_column(
+                issue_cycle, bankgroup, bank, bank_state.open_row, is_write
+            )
+            data_bus_free[channel] = data_end
+            if is_write:
+                dram_stats.writes += 1
+            else:
+                dram_stats.reads += 1
+            if request is not None:
+                request.issue_cycle = issue_cycle
+                queue = write_queue if request.is_write else read_queue
+                queue.remove(request)
+                unindex_request(request)
+                request.complete(data_end)
+                if request.is_read and not request.is_mitigation_traffic:
+                    ctl_stats.record_read_completion(request)
+                ctl_stats.row_hits += 1
+                if on_issue_hook is not None:
+                    on_issue_hook(command, request, issue_cycle)
+                for callback in slot_free_callbacks:
+                    callback()
+            return issue_cycle
+
+        return issue_fused
+
     # ------------------------------------------------------------------ #
     # Checkpointing
     # ------------------------------------------------------------------ #
@@ -1145,12 +1459,15 @@ class MemoryController:
 
     def restore(self, state: Dict) -> None:
         """Restore the state captured by :meth:`snapshot`."""
-        self.next_refresh_due = {
-            tuple(key): due for key, due in state["next_refresh_due"]
-        }
-        self.extra_rank_refreshes = {
-            tuple(key): count for key, count in state["extra_rank_refreshes"]
-        }
+        # In-place: the fast select binds these dicts at construction.
+        self.next_refresh_due.clear()
+        self.next_refresh_due.update(
+            (tuple(key), due) for key, due in state["next_refresh_due"]
+        )
+        self.extra_rank_refreshes.clear()
+        self.extra_rank_refreshes.update(
+            (tuple(key), count) for key, count in state["extra_rank_refreshes"]
+        )
         self._draining_writes = state["draining_writes"]
         self.current_cycle = state["current_cycle"]
         self._enqueue_seq = state["enqueue_seq"]

@@ -194,7 +194,7 @@ class SchedulingPolicy:
     #: Policy parameters accepted by the constructor (spec ``params`` keys).
     PARAMS: Tuple[str, ...] = ()
     #: True when the controller's struct-of-arrays demand scan
-    #: (:meth:`~repro.controller.controller.MemoryController._fast_demand_command`)
+    #: (:meth:`~repro.controller.controller.MemoryController._build_fast_select`)
     #: reproduces this policy's :meth:`bank_candidate` semantics exactly.
     #: Policies that reorder on anything beyond (row state, arrival, issue
     #: cycle) must leave this False and take the generic per-bank scan.

@@ -97,6 +97,12 @@ class Core:
         #: Set by the event kernel; called whenever a state change may move
         #: this core's next event earlier (a read completion arriving).
         self.kernel_wakeup: Optional[Callable[[], None]] = None
+        #: Memo for :meth:`_dispatch_cycle_for_next_entry`: the event kernel
+        #: asks for the next event cycle more than once between state
+        #: changes (once to schedule, again after unrelated controllers
+        #: advance), and the answer only moves when this core steps or a
+        #: read completes — the two sites that clear the memo.
+        self._dispatch_memo: Optional[Union[int, float]] = None
 
     # ------------------------------------------------------------------ #
     # Scheduling interface used by the system simulation
@@ -126,10 +132,16 @@ class Core:
             return NEVER
         if self._trace_exhausted or self._at_window_limit:
             return NEVER
-        return self._dispatch_cycle_for_next_entry()
+        memo = self._dispatch_memo
+        if memo is not None:
+            return memo
+        memo = self._dispatch_cycle_for_next_entry()
+        self._dispatch_memo = memo
+        return memo
 
     def step(self, cycle: float) -> None:
         """Process the next trace entry at ``cycle`` (== :meth:`next_event_cycle`)."""
+        self._dispatch_memo = None
         if self._blocked_on_queue is not None:
             self._retry_blocked_request(cycle)
             return
@@ -238,6 +250,7 @@ class Core:
             self.stats.stall_events += 1
 
     def _on_read_complete(self, record: _OutstandingRead, cycle: int) -> None:
+        self._dispatch_memo = None
         record.completion_cycle = float(cycle)
         self._last_completion_cycle = max(self._last_completion_cycle, float(cycle))
         self.stats.finish_cycle = max(self.stats.finish_cycle, float(cycle))
@@ -253,6 +266,7 @@ class Core:
         if self.controller.enqueue(request, int(cycle)):
             self._blocked_on_queue = None
             self._front_cycle = max(self._front_cycle, cycle)
+            self._dispatch_memo = None
 
     def retry_blocked(self, cycle: float) -> bool:
         """Retry a request rejected on a full queue; True when it got enqueued."""
@@ -296,6 +310,7 @@ class Core:
         self._trace_exhausted = state["trace_exhausted"]
         self._outstanding = []
         self._blocked_on_queue = None
+        self._dispatch_memo = None
         for key, value in state["stats"].items():
             setattr(self.stats, key, value)
 

@@ -12,7 +12,7 @@ Ramulator's default DDR4 mapping gives the paper's workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.dram.config import DRAMConfig
 
@@ -132,12 +132,29 @@ class AddressMapper:
         self._column_bits = _bits(org.columns_per_row // org.columns_per_cacheline)
         self._rank_bits = _bits(org.ranks_per_channel)
         self._row_bits = _bits(org.rows_per_bank)
+        # Decoded-address memo: workloads re-touch the same cache lines
+        # (hammering patterns by construction, benign traces through
+        # locality), DRAMAddress is frozen, and decode is pure — so decoding
+        # each distinct physical address once per mapper is exact.  Bounded
+        # so a pathological trace cannot grow it without limit.
+        self._decode_memo: Dict[int, DRAMAddress] = {}
+
+    _DECODE_MEMO_LIMIT = 1 << 20
 
     # ------------------------------------------------------------------ #
     # Decode / encode
     # ------------------------------------------------------------------ #
     def decode(self, physical_address: int) -> DRAMAddress:
         """Decode a byte-granularity physical address."""
+        address = self._decode_memo.get(physical_address)
+        if address is not None:
+            return address
+        address = self._decode_slow(physical_address)
+        if len(self._decode_memo) < self._DECODE_MEMO_LIMIT:
+            self._decode_memo[physical_address] = address
+        return address
+
+    def _decode_slow(self, physical_address: int) -> DRAMAddress:
         if physical_address < 0:
             raise ValueError("physical address must be non-negative")
         org = self.config.organization

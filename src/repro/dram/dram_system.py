@@ -20,6 +20,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro import fastpath
 from repro.dram.address import DRAMAddress
 from repro.dram.bank import Bank, BankTimingTable, TimingViolation
 from repro.dram.commands import Command, CommandKind
@@ -29,6 +30,15 @@ from repro.dram.config import DRAMConfig
 ActivationObserver = Callable[[int, DRAMAddress, bool], None]
 RefreshObserver = Callable[[int, Tuple[int, int], int, int], None]
 RowRefreshObserver = Callable[[int, DRAMAddress], None]
+
+#: Batched activation observers receive SoA columns of buffered ACT events:
+#: ``observer(cycles, addresses, flags)`` with three equal-length sequences.
+BatchActivationObserver = Callable[[List[int], List[DRAMAddress], List[bool]], None]
+
+#: Flush the batched-ACT buffer once it holds this many events even if no
+#: natural drain point (refresh boundary, snapshot, run end) arrives first —
+#: bounds buffer memory and keeps batch sizes cache-friendly.
+_BATCH_FLUSH_LIMIT = 256
 
 
 @dataclass
@@ -308,7 +318,7 @@ class DRAMSystem:
         # One shared struct-of-arrays timing table covering every bank this
         # system owns; ranks claim contiguous slot ranges in (channel, rank,
         # bankgroup, bank) order.  The controller's FR-FCFS fast scan reads
-        # these arrays directly (see MemoryController._fast_demand_command).
+        # these arrays directly (see MemoryController._build_fast_select).
         banks_per_rank = org.bankgroups_per_rank * org.banks_per_bankgroup
         num_channels = org.channels if channel is None else 1
         self.timing_table = BankTimingTable(
@@ -329,6 +339,19 @@ class DRAMSystem:
         self._activation_observers: List[ActivationObserver] = []
         self._refresh_observers: List[RefreshObserver] = []
         self._row_refresh_observers: List[RowRefreshObserver] = []
+        # Batched ACT delivery: pure observers (the streaming security
+        # verifier) register here instead and receive SoA columns at drain
+        # points.  Event order is preserved — the buffers are flushed before
+        # any refresh notification is delivered, so increments and
+        # deletions interleave exactly as in per-event delivery.
+        self._batch_act_observers: List[BatchActivationObserver] = []
+        self._batch_cycles: List[int] = []
+        self._batch_addresses: List[DRAMAddress] = []
+        self._batch_flags: List[bool] = []
+        # Latch the fastpath switch: controllers constructed under the fast
+        # path pre-validate their scheduling decisions and ask issue() to
+        # skip the redundant earliest-cycle recheck.
+        self._fast = fastpath.enabled()
         self.current_cycle = 0
 
     # ------------------------------------------------------------------ #
@@ -351,10 +374,60 @@ class DRAMSystem:
         """
         self._row_refresh_observers.append(observer)
 
+    def add_batch_activation_observer(self, observer: BatchActivationObserver) -> None:
+        """Observer called as ``observer(cycles, addresses, flags)`` at drain points.
+
+        The three arguments are equal-length lists (SoA columns) of the ACT
+        events buffered since the previous flush, in issue order.  Batched
+        delivery is for *pure* observers only — anything that feeds back into
+        the command stream (scheduling preventive refreshes, throttling)
+        must use :meth:`add_activation_observer`, which stays synchronous.
+        Drain points: refresh notifications (REF, RFM victim sweeps,
+        preventive ACTs via :meth:`notify_row_refresh`), :meth:`snapshot`,
+        explicit :meth:`flush_activations` calls (the simulation flushes at
+        window end), and the ``_BATCH_FLUSH_LIMIT`` size cap.
+        """
+        self._batch_act_observers.append(observer)
+
+    def flush_activations(self) -> None:
+        """Deliver buffered ACT events to the batched observers, in order."""
+        if not self._batch_cycles:
+            return
+        cycles = self._batch_cycles
+        addresses = self._batch_addresses
+        flags = self._batch_flags
+        self._batch_cycles = []
+        self._batch_addresses = []
+        self._batch_flags = []
+        for observer in self._batch_act_observers:
+            observer(cycles, addresses, flags)
+
     def notify_row_refresh(self, cycle: int, address: DRAMAddress) -> None:
         """Report that ``address``'s row was refreshed by an in-DRAM mechanism."""
+        # Row refreshes reset disturbance state downstream; buffered ACT
+        # increments must land first to preserve per-event ordering.
+        if self._batch_cycles:
+            self.flush_activations()
         for observer in self._row_refresh_observers:
             observer(cycle, address)
+
+    def deliver_activation(self, cycle: int, address: DRAMAddress, is_preventive: bool) -> None:
+        """Deliver one ACT event: buffer for batched observers, call the rest.
+
+        The single delivery point shared by :meth:`issue` and the sampled
+        fidelity's functional fast-forward (which reconstructs ACTs without
+        issuing commands) — any path that synthesizes activation events must
+        go through here so batched observers see the same stream as
+        per-event ones.
+        """
+        if self._batch_act_observers:
+            self._batch_cycles.append(cycle)
+            self._batch_addresses.append(address)
+            self._batch_flags.append(is_preventive)
+            if len(self._batch_cycles) >= _BATCH_FLUSH_LIMIT:
+                self.flush_activations()
+        for observer in self._activation_observers:
+            observer(cycle, address, is_preventive)
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -416,19 +489,29 @@ class DRAMSystem:
     # ------------------------------------------------------------------ #
     # Command application
     # ------------------------------------------------------------------ #
-    def issue(self, command: Command, cycle: int) -> Optional[int]:
+    def issue(self, command: Command, cycle: int, validated: bool = False) -> Optional[int]:
         """Apply ``command`` at ``cycle``.
 
         Returns the data-completion cycle for RD/WR commands, the
         rank-unblock cycle for REF, and ``None`` for ACT/PRE.  Raises
         :class:`~repro.dram.bank.TimingViolation` when the command is early.
+
+        ``validated=True`` promises the caller already checked
+        :meth:`earliest_issue_cycle` for this exact ``(command, cycle)``
+        pair, so the recheck is skipped.  The memory controller's scheduler
+        always computes the earliest cycle before deciding to issue (and
+        guards cached decisions with a mutation counter), making the second
+        computation pure overhead on the hot path; direct callers — tests
+        deliberately issuing illegal commands — keep the default and the
+        :class:`TimingViolation` it raises.
         """
-        earliest = self.earliest_issue_cycle(command, cycle)
-        if earliest > cycle:
-            raise TimingViolation(
-                f"{command.describe()} issued at cycle {cycle}, "
-                f"earliest legal cycle is {earliest}"
-            )
+        if not validated:
+            earliest = self.earliest_issue_cycle(command, cycle)
+            if earliest > cycle:
+                raise TimingViolation(
+                    f"{command.describe()} issued at cycle {cycle}, "
+                    f"earliest legal cycle is {earliest}"
+                )
         self.current_cycle = max(self.current_cycle, cycle)
         rank = self.ranks[(command.channel, command.rank)]
         self._command_bus_free[command.channel] = cycle + 1
@@ -449,10 +532,10 @@ class DRAMSystem:
                 row=command.row,
                 column=0,
             )
-            for observer in self._activation_observers:
-                observer(cycle, address, command.is_preventive)
+            self.deliver_activation(cycle, address, command.is_preventive)
             if command.is_preventive:
-                # A preventive ACT refreshes the activated (victim) row itself.
+                # A preventive ACT refreshes the activated (victim) row
+                # itself; notify_row_refresh drains the batch buffer first.
                 self.notify_row_refresh(cycle, address)
             return None
 
@@ -478,6 +561,10 @@ class DRAMSystem:
             start_row, count = rank.apply_refresh(cycle)
             self.stats.refreshes += 1
             self.stats.refresh_rows += count
+            # REF deletes disturbance state downstream; drain buffered ACT
+            # increments first so batch delivery preserves event order.
+            if self._batch_cycles:
+                self.flush_activations()
             for observer in self._refresh_observers:
                 observer(cycle, (command.channel, command.rank), start_row, count)
             return cycle + timing.tRFC
@@ -499,7 +586,9 @@ class DRAMSystem:
     def snapshot(self) -> Dict:
         """Plain-data checkpoint: every rank (with its banks), the per-channel
         bus state and the global statistics.  Observers are wiring, not
-        state, and are not captured."""
+        state, and are not captured; buffered batch events are drained first
+        so a restored system never replays them."""
+        self.flush_activations()
         return {
             "ranks": {key: rank.snapshot() for key, rank in self.ranks.items()},
             "data_bus_free": dict(self._data_bus_free),
@@ -510,12 +599,15 @@ class DRAMSystem:
 
     def restore(self, state: Dict) -> None:
         """Restore the state captured by :meth:`snapshot`."""
+        self._batch_cycles = []
+        self._batch_addresses = []
+        self._batch_flags = []
         for key, rank_state in state["ranks"].items():
             self.ranks[tuple(key)].restore(rank_state)
-        self._data_bus_free = {ch: cycle for ch, cycle in state["data_bus_free"].items()}
-        self._command_bus_free = {
-            ch: cycle for ch, cycle in state["command_bus_free"].items()
-        }
+        # In-place updates: the controller's fast demand scan binds these
+        # dicts once at construction, so the objects must stay identical.
+        self._data_bus_free.update(state["data_bus_free"])
+        self._command_bus_free.update(state["command_bus_free"])
         for key, value in state["stats"].items():
             setattr(self.stats, key, value)
         self.current_cycle = state["current_cycle"]

@@ -186,6 +186,31 @@ class EventKernel:
     # ------------------------------------------------------------------ #
     def run(self) -> float:
         """Process events until all cores finish; returns the final time."""
+        if (
+            self._fast
+            # The fused loop inlines these helpers; an instance-level
+            # override (tests wrap _pop_live to observe the event stream)
+            # must keep the generic loop that actually calls them.
+            and not any(
+                name in self.__dict__
+                for name in (
+                    "_pop_live",
+                    "_schedule_controller",
+                    "_schedule_controllers",
+                    "_schedule_core",
+                    "_flush_dirty_cores",
+                )
+            )
+            # Real controllers expose the boundary inputs the fused loop
+            # pre-resolves; test doubles fall back to the generic loop.
+            and all(
+                hasattr(ctl, "scheduler")
+                and hasattr(ctl, "next_refresh_due")
+                and hasattr(ctl, "dram_config")
+                for ctl in self.controllers
+            )
+        ):
+            return self._run_fast()
         for index in range(len(self.cores)):
             self._schedule_core(index)
         self._schedule_controllers()
@@ -233,6 +258,224 @@ class EventKernel:
                 self._schedule_controllers()
             self._flush_dirty_cores()
         return self.now
+
+    def _run_fast(self) -> float:
+        """The event loop with its hot path flattened (fast path only).
+
+        Event-for-event identical to :meth:`run` with the fast switch on:
+        the same pop-validate/dispatch/reschedule sequence, with the
+        per-event helper calls (:meth:`_pop_live`,
+        :meth:`_schedule_controllers`, :meth:`_schedule_controller`,
+        :meth:`~repro.controller.controller.MemoryController.decision_crosses_boundary`)
+        inlined over locals.  Per-controller boundary inputs are
+        pre-resolved once: the refresh-due dict (mutated in place for the
+        controller's lifetime) replaces the ``refresh_crosses_due`` call,
+        and the scheduler's ``priority_boundary_crossed`` hook is dropped
+        entirely when it is the base-class constant ``False`` (every
+        scheduler but BLISS).  Cold paths — setup, stall recovery,
+        termination, dirty-core flushing — stay delegated to the shared
+        helpers.  ``self.now``/``self.steps`` are kept in sync before any
+        component call because completion hooks and ``schedule()`` read
+        them mid-event.
+        """
+        for index in range(len(self.cores)):
+            self._schedule_core(index)
+        self._schedule_controllers()
+
+        heap = self._heap
+        push = heapq.heappush
+        pop = heapq.heappop
+        ceil = math.ceil
+        cores = self.cores
+        controllers = self.controllers
+        ctl_indices = tuple(range(len(controllers)))
+        core_gen = self._core_gen
+        ctl_gen = self._ctl_gen
+        ctl_decision = self._ctl_decision
+        ctl_recheck = self._ctl_recheck
+        ctl_cached_cycle = self._ctl_cached_cycle
+        ctl_cached_mutations = self._ctl_cached_mutations
+        ctl_has_entry = self._ctl_has_entry
+        callbacks = self._callbacks
+        dirty_cores = self._dirty_cores
+        blocked_cores = self._blocked_cores
+        max_steps = self.max_steps
+        from repro.controller.policies import SchedulingPolicy
+
+        base_boundary = SchedulingPolicy.priority_boundary_crossed
+        boundary_hooks = [
+            ctl.scheduler.priority_boundary_crossed
+            if type(ctl.scheduler).priority_boundary_crossed is not base_boundary
+            else None
+            for ctl in controllers
+        ]
+        refresh_dues = [
+            ctl.next_refresh_due if ctl.dram_config.refresh_enabled else None
+            for ctl in controllers
+        ]
+        # Call the controllers' fused fast closures directly where they are
+        # provably equivalent — the public methods are one-line delegations
+        # to them (guarded against subclass or instance overrides, which
+        # keep the delegating wrappers).
+        from repro.controller.controller import MemoryController
+
+        decision_fns = [
+            ctl._fast_select
+            if (
+                getattr(ctl, "_fast_select", None) is not None
+                and type(ctl).next_decision is MemoryController.next_decision
+                and type(ctl)._choose_command is MemoryController._choose_command
+                and "next_decision" not in ctl.__dict__
+                and "_choose_command" not in ctl.__dict__
+            )
+            else ctl.next_decision
+            for ctl in controllers
+        ]
+        issue_fns = [
+            ctl._fast_issue_fn
+            if (
+                getattr(ctl, "_fast_issue_fn", None) is not None
+                and type(ctl).issue_decision is MemoryController.issue_decision
+                and "issue_decision" not in ctl.__dict__
+            )
+            else ctl.issue_decision
+            for ctl in controllers
+        ]
+
+        now = self.now
+        steps = self.steps
+        while steps < max_steps:
+            time = 0.0
+            priority = index = -1
+            while heap:
+                time, priority, index, gen = pop(heap)
+                if priority == _PRIORITY_CORE:
+                    if gen == core_gen[index]:
+                        break
+                elif priority == _PRIORITY_CONTROLLER:
+                    if gen == ctl_gen[index]:
+                        break
+                elif index in callbacks:
+                    break
+            else:
+                self.now = now
+                self.steps = steps
+                if self._all_done():
+                    break
+                if not self._recover_stall():
+                    self._raise_deadlock()
+                continue
+            if time > now:
+                now = time
+            self.now = now
+            steps += 1
+
+            if priority == _PRIORITY_CORE:
+                core = cores[index]
+                if core.has_blocked_request:
+                    core.retry_blocked(now)
+                elif not core.finished:
+                    core.step(now)
+                if core.has_blocked_request:
+                    blocked_cores.add(index)
+                else:
+                    blocked_cores.discard(index)
+                core_gen[index] += 1
+                cycle = core.next_event_cycle()
+                if cycle < NEVER:
+                    push(
+                        heap,
+                        (
+                            cycle if cycle >= now else now,
+                            _PRIORITY_CORE,
+                            index,
+                            core_gen[index],
+                        ),
+                    )
+            elif priority == _PRIORITY_CONTROLLER:
+                ctl = controllers[index]
+                ctl_has_entry[index] = False
+                if ctl_recheck[index]:
+                    issued = ctl.issue_next(ceil(time))
+                else:
+                    issued = issue_fns[index](ctl_decision[index])
+                if issued is not None and issued > now:
+                    now = issued
+                    self.now = now
+            else:
+                callback = callbacks.pop(index, None)
+                if callback is not None:
+                    callback(now)
+
+            cycle = ceil(now)
+            for i in ctl_indices:
+                ctl = controllers[i]
+                cached_mutations = ctl_cached_mutations[i]
+                if cached_mutations is not None and cached_mutations == ctl.mutations:
+                    decision = ctl_decision[i]
+                    if decision is None:
+                        if not ctl_has_entry[i]:
+                            start = ctl_cached_cycle[i]
+                            dues = refresh_dues[i]
+                            if dues is not None:
+                                for due in dues.values():
+                                    if start < due <= cycle:
+                                        break
+                                else:
+                                    hook = boundary_hooks[i]
+                                    if hook is None or not hook(start, cycle):
+                                        continue
+                            else:
+                                hook = boundary_hooks[i]
+                                if hook is None or not hook(start, cycle):
+                                    continue
+                    elif ctl_has_entry[i] and decision[0] >= cycle:
+                        start = ctl_cached_cycle[i]
+                        dues = refresh_dues[i]
+                        if dues is not None:
+                            for due in dues.values():
+                                if start < due <= cycle:
+                                    break
+                            else:
+                                hook = boundary_hooks[i]
+                                if hook is None or not hook(start, cycle):
+                                    continue
+                        else:
+                            hook = boundary_hooks[i]
+                            if hook is None or not hook(start, cycle):
+                                continue
+                ctl_gen[i] += 1
+                decision = decision_fns[i](cycle)
+                ctl_cached_cycle[i] = cycle
+                ctl_cached_mutations[i] = ctl.mutations
+                if decision is None:
+                    ctl_decision[i] = None
+                    ctl_has_entry[i] = False
+                    continue
+                issue_cycle = decision[0]
+                ctl_decision[i] = decision
+                crossed = False
+                dues = refresh_dues[i]
+                if dues is not None:
+                    for due in dues.values():
+                        if cycle < due <= issue_cycle:
+                            crossed = True
+                            break
+                if not crossed:
+                    hook = boundary_hooks[i]
+                    crossed = hook is not None and hook(cycle, issue_cycle)
+                ctl_recheck[i] = crossed
+                push(
+                    heap,
+                    (issue_cycle, _PRIORITY_CONTROLLER, i, ctl_gen[i]),
+                )
+                ctl_has_entry[i] = True
+
+            if dirty_cores:
+                self._flush_dirty_cores()
+        self.now = now
+        self.steps = steps
+        return now
 
     def _all_done(self) -> bool:
         return all(core.finished for core in self.cores) and not any(

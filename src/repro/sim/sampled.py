@@ -111,8 +111,7 @@ def _warm_access(
         # registered observer (mitigations, verifiers, controller stats)
         # keys on (channel, rank, bankgroup, bank, row) only, so skipping
         # the column=0 copy the detailed path materializes is free.
-        for observer in dram._activation_observers:
-            observer(cycle, address, False)
+        dram.deliver_activation(cycle, address, False)
     table.col_accesses[i] += 1
     if is_write:
         bank.stats.writes += 1
@@ -138,6 +137,10 @@ def _functional_rank_refresh(ctl, rank_key: Tuple[int, int], cycle: int) -> None
     rank.refresh_row_pointer = (start_row + rows_per_refresh) % rows_per_bank
     dram.stats.refreshes += 1
     dram.stats.refresh_rows += rows_per_refresh
+    # Match issue(): drain buffered ACT events before delivering the REF so
+    # batched observers see increments and deletions in true order.
+    if dram._batch_cycles:
+        dram.flush_activations()
     for observer in dram._refresh_observers:
         observer(cycle, rank_key, start_row, rows_per_refresh)
 
@@ -191,8 +194,7 @@ def _functional_preventive_refresh(ctl, address: DRAMAddress, cycle: int) -> Non
         row=address.row,
         column=0,
     )
-    for observer in dram._activation_observers:
-        observer(cycle, act_address, True)
+    dram.deliver_activation(cycle, act_address, True)
     dram.notify_row_refresh(cycle, act_address)
 
 
@@ -356,6 +358,7 @@ def _fast_forward(
                     heapq.heappush(heads, (dispatch, index))
                     break
             core._front_cycle = dispatch
+            core._dispatch_memo = None
             remaining[index] = left
             if dispatch > end:
                 end = dispatch
@@ -377,6 +380,7 @@ def _fast_forward(
         if core._front_cycle < end_cycle and not core._trace_exhausted:
             # Idle cores resume no earlier than the fast-forwarded clock.
             core._front_cycle = float(end_cycle)
+            core._dispatch_memo = None
 
 
 # --------------------------------------------------------------------- #

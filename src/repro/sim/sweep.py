@@ -25,7 +25,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import as_completed
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -35,6 +35,7 @@ from repro.core.fsutil import atomic_write_bytes
 from repro.cpu.core import CoreConfig
 from repro.dram.config import DRAMConfig
 from repro.experiment.spec import ExperimentSpec, WorkloadSpec
+from repro.sim.pool import shared_pool
 from repro.sim.runner import default_experiment_config
 from repro.sim.system import SimulationResult
 
@@ -339,17 +340,20 @@ class SweepRunner:
                     _execute_item(points[index], self.dram_config, self.core_config),
                 )
         elif pending:
+            # The shared warm pool (see repro.sim.pool) outlives this run on
+            # purpose: consecutive sweeps reuse hot workers instead of
+            # paying spawn + simulator import per run.
             workers = min(self.max_workers, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(
-                        _worker_run,
-                        (points[index], self.dram_config, self.core_config),
-                    ): index
-                    for index in pending
-                }
-                for future in as_completed(futures):
-                    finish(futures[future], future.result())
+            pool = shared_pool(workers)
+            futures = {
+                pool.submit(
+                    _worker_run,
+                    (points[index], self.dram_config, self.core_config),
+                ): index
+                for index in pending
+            }
+            for future in as_completed(futures):
+                finish(futures[future], future.result())
         return list(results)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------ #

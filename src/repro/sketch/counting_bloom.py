@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import fastpath
+from repro._np import np
 from repro.sketch.hashes import HashFamily, ShiftMaskHashFamily
 
 
@@ -58,7 +60,16 @@ class CountingBloomFilter:
         if hash_family is None:
             hash_family = ShiftMaskHashFamily(num_hashes, num_counters, seed=seed)
         self.hash_family = hash_family
-        self._counters = [0] * num_counters
+        # Backend latch (see count_min.py): contiguous numpy array when
+        # numpy is importable and the fastpath switch is on, else a plain
+        # list.  Both produce bit-identical counts and snapshots.
+        self._vec = np is not None and fastpath.enabled()
+        if self._vec:
+            self._array = np.zeros(num_counters, dtype=np.int64)
+            self._counters: Optional[List[int]] = None
+        else:
+            self._array = None
+            self._counters = [0] * num_counters
         self.total_updates = 0
 
     def indices(self, key: int) -> List[int]:
@@ -75,17 +86,41 @@ class CountingBloomFilter:
         if amount < 0:
             raise ValueError("counting Bloom filter does not support negative updates")
         self.total_updates += amount
-        idx = self.indices(key)
-        current = [self._counters[i] for i in idx]
+        idx = self.hash_family.hash_all(key)
+        if self._vec:
+            array = self._array
+            current = [int(array[i]) for i in idx]
+            target = min(min(current) + amount, self.saturation_value)
+            for i, value in zip(idx, current):
+                if value < target:
+                    array[i] = target
+            return target
+        counters = self._counters
+        current = [counters[i] for i in idx]
         target = min(min(current) + amount, self.saturation_value)
         for i, value in zip(idx, current):
             if value < target:
-                self._counters[i] = target
-        return min(self._counters[i] for i in idx)
+                counters[i] = target
+        # The counters at the old minimum were raised to ``target``, so the
+        # group's new minimum — the estimate — is ``target`` itself.
+        return target
+
+    def update_batch(self, keys: Sequence[int], amount: int = 1) -> None:
+        """Sequential conservative updates for every key in ``keys``.
+
+        Conservative updates are order-sensitive, so the batch form is the
+        exact sequential loop (one call site for batch consumers).
+        """
+        for key in keys:
+            self.update(key, amount)
 
     def estimate(self, key: int) -> int:
         """Never-underestimating frequency estimate of ``key``."""
-        return min(self._counters[i] for i in self.indices(key))
+        if self._vec:
+            array = self._array
+            return int(min(array[i] for i in self.hash_family.hash_all(key)))
+        counters = self._counters
+        return min(counters[i] for i in self.hash_family.hash_all(key))
 
     def contains(self, key: int, threshold: int) -> bool:
         """True when the estimate of ``key`` is at least ``threshold``."""
@@ -93,22 +128,30 @@ class CountingBloomFilter:
 
     def reset(self) -> None:
         """Clear all counters (epoch rollover)."""
-        self._counters = [0] * self.num_counters
+        if self._vec:
+            self._array.fill(0)
+        else:
+            self._counters = [0] * self.num_counters
         self.total_updates = 0
 
     def counters_snapshot(self) -> List[int]:
+        if self._vec:
+            return self._array.tolist()
         return list(self._counters)
 
     def snapshot(self) -> Dict[str, Any]:
-        """Plain-data checkpoint of the mutable filter state."""
+        """Plain-data checkpoint of the mutable filter state (backend-portable)."""
         return {
-            "counters": list(self._counters),
+            "counters": self.counters_snapshot(),
             "total_updates": self.total_updates,
         }
 
     def restore(self, state: Dict[str, Any]) -> None:
         """Restore the state captured by :meth:`snapshot`."""
-        self._counters = list(state["counters"])
+        if self._vec:
+            self._array = np.array(state["counters"], dtype=np.int64)
+        else:
+            self._counters = list(state["counters"])
         self.total_updates = state["total_updates"]
 
     @property

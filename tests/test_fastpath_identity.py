@@ -2,7 +2,7 @@
 
 :mod:`repro.fastpath` gates two independent accelerations — the
 controller's struct-of-arrays FR-FCFS scan
-(:meth:`~repro.controller.controller.MemoryController._fast_demand_command`)
+(:meth:`~repro.controller.controller.MemoryController._build_fast_select`)
 and the event kernel's untouched-channel decision skip
 (:meth:`~repro.sim.engine.EventKernel._schedule_controller`).  Both claim
 to be pure optimisations: same commands, same cycles, same statistics.

@@ -1,0 +1,249 @@
+"""Batch == serial activation-observer equivalence, property-tested.
+
+The fast-path DRAM model delivers ACT events to *pure* observers in
+batches — SoA columns handed to ``observe_batch`` at drain points
+(refresh boundaries, snapshots, window end) — instead of one callback per
+ACT.  That is only sound if batch delivery is behaviorally identical to
+per-event delivery, which the protocol guarantees two ways:
+
+* :meth:`repro.mitigations.base.MitigationMechanism.observe_batch`'s
+  default body *is* the serial loop over ``on_activation``, so every
+  mechanism inherits exact equivalence (and feedback mechanisms are never
+  driven through batches by the simulation anyway — their preventive
+  refreshes must land synchronously in the command stream);
+* the streaming :class:`~repro.analysis.security.SecurityVerifier`
+  overrides it with a hoisted/vectorized body that must produce the same
+  verdict bit-for-bit.
+
+These tests pin both claims for arbitrary event streams and arbitrary
+batch partitionings: same final snapshot, same controller side effects,
+same verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.security import SecurityVerifier
+from repro.dram.address import AddressMapper, DRAMAddress
+from repro.dram.config import DRAMConfig, small_test_config
+from repro.dram.dram_system import DRAMSystem
+from repro.experiment.registry import mitigation_entries, mitigation_names
+
+#: High enough that every mechanism is feasible (PARA's refresh
+#: probability goes supercritical at low thresholds).
+MECHANISM_NRH = 500
+#: Low enough that the generated event streams actually produce violations.
+VERIFIER_NRH = 6
+SEED = 7
+
+
+def _tiny_config() -> DRAMConfig:
+    """The conftest tiny config, rebuilt per example (hypothesis-safe)."""
+    return small_test_config(
+        rows_per_bank=256,
+        banks_per_bankgroup=2,
+        bankgroups_per_rank=2,
+        ranks_per_channel=1,
+        refresh_window_scale=1.0 / 2048.0,
+    )
+
+
+class _RecordingDRAMStats:
+    def __init__(self) -> None:
+        self.counter_updates = 0
+
+
+class _RecordingDRAM:
+    """Captures the row refreshes and stats a mechanism pushes straight to DRAM."""
+
+    def __init__(self) -> None:
+        self.row_refreshes: List[Tuple[int, DRAMAddress]] = []
+        self.stats = _RecordingDRAMStats()
+
+    def notify_row_refresh(self, cycle: int, address: DRAMAddress) -> None:
+        self.row_refreshes.append((cycle, address))
+
+
+@dataclass
+class _RecordingController:
+    """Captures every controller-side effect a mechanism can produce."""
+
+    dram_config: DRAMConfig
+    preventive_refreshes: List[Tuple[DRAMAddress, int]] = field(default_factory=list)
+    rank_refreshes: List[Tuple[int, int, int]] = field(default_factory=list)
+    mitigation_requests: List[Tuple[DRAMAddress, bool, int]] = field(
+        default_factory=list
+    )
+
+    def __post_init__(self) -> None:
+        self.mapper = AddressMapper(self.dram_config)
+        self.dram = _RecordingDRAM()
+
+    def schedule_preventive_refresh(self, address: DRAMAddress, cycle: int) -> None:
+        self.preventive_refreshes.append((address, cycle))
+
+    def schedule_rank_refresh(self, channel: int, rank: int, count: int) -> None:
+        self.rank_refreshes.append((channel, rank, count))
+
+    def enqueue_mitigation_request(
+        self, address: DRAMAddress, is_write: bool, cycle: int
+    ) -> bool:
+        self.mitigation_requests.append((address, is_write, cycle))
+        return True
+
+
+# One raw event: (bank_index in [0, 4), row in [0, 256), preventive flag,
+# cycle gap to the previous event).  Cycles are built as a running sum so
+# event order and timestamps are always consistent.
+_events_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        # Rows from a small pool so streams revisit the same aggressors and
+        # the verifier's NRH threshold is actually crossed in many examples.
+        st.integers(min_value=0, max_value=9),
+        st.booleans(),
+        st.integers(min_value=0, max_value=50),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _materialize(config, raw_events):
+    """(cycles, addresses, flags) SoA columns from the raw event tuples."""
+    mapper = AddressMapper(config)
+    cycles, addresses, flags = [], [], []
+    cycle = 0
+    for bank_index, row, preventive, gap in raw_events:
+        cycle += gap
+        cycles.append(cycle)
+        addresses.append(
+            mapper.decode(mapper.address_for_row(row, bank_index=bank_index))
+        )
+        flags.append(preventive)
+    return cycles, addresses, flags
+
+
+def _partition(data, n):
+    """Draw a list of batch lengths covering ``n`` events exactly."""
+    sizes = []
+    remaining = n
+    while remaining > 0:
+        size = data.draw(st.integers(min_value=1, max_value=remaining))
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+@pytest.mark.parametrize("name", mitigation_names())
+class TestMechanismBatchEqualsSerial:
+    """Every registered mechanism: observe_batch == on_activation loop."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(raw_events=_events_strategy, data=st.data())
+    def test_batch_matches_serial(self, name, raw_events, data):
+        config = _tiny_config()
+        entry = mitigation_entries()[name]
+        serial = entry.build(MECHANISM_NRH, seed=SEED)
+        batched = entry.build(MECHANISM_NRH, seed=SEED)
+        serial_ctl = _RecordingController(dram_config=config)
+        batched_ctl = _RecordingController(dram_config=config)
+        serial.attach(serial_ctl)
+        batched.attach(batched_ctl)
+
+        cycles, addresses, flags = _materialize(config, raw_events)
+        for cycle, address, flag in zip(cycles, addresses, flags):
+            serial.on_activation(cycle, address, flag)
+        start = 0
+        for size in _partition(data, len(cycles)):
+            batched.observe_batch(
+                cycles[start : start + size],
+                addresses[start : start + size],
+                flags[start : start + size],
+            )
+            start += size
+
+        assert batched.snapshot() == serial.snapshot()
+        assert batched_ctl.preventive_refreshes == serial_ctl.preventive_refreshes
+        assert batched_ctl.rank_refreshes == serial_ctl.rank_refreshes
+        assert batched_ctl.mitigation_requests == serial_ctl.mitigation_requests
+        assert batched_ctl.dram.row_refreshes == serial_ctl.dram.row_refreshes
+        assert (
+            batched_ctl.dram.stats.counter_updates
+            == serial_ctl.dram.stats.counter_updates
+        )
+        # The per-address ACT throttle (BlockHammer) must agree too.
+        probe = addresses[-1]
+        probe_cycle = cycles[-1] + 1
+        assert batched.act_allowed_cycle(probe, probe_cycle) == serial.act_allowed_cycle(
+            probe, probe_cycle
+        )
+
+
+class TestVerifierBatchEqualsSerial:
+    """The SecurityVerifier's vectorized observe_batch == the serial observer."""
+
+    @staticmethod
+    def _pair(config, record_violations, blast_radius):
+        serial = SecurityVerifier(
+            DRAMSystem(config),
+            nrh=VERIFIER_NRH,
+            blast_radius=blast_radius,
+            record_violations=record_violations,
+        )
+        batched = SecurityVerifier(
+            DRAMSystem(config),
+            nrh=VERIFIER_NRH,
+            blast_radius=blast_radius,
+            record_violations=record_violations,
+        )
+        return serial, batched
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        raw_events=_events_strategy,
+        data=st.data(),
+        record_violations=st.booleans(),
+        blast_radius=st.integers(min_value=1, max_value=2),
+    )
+    def test_batch_matches_serial(
+        self, raw_events, data, record_violations, blast_radius
+    ):
+        # blast_radius=1 exercises the unrolled fast branch, 2 the generic
+        # fallback; record_violations covers both audit modes.
+        config = _tiny_config()
+        serial, batched = self._pair(config, record_violations, blast_radius)
+        cycles, addresses, flags = _materialize(config, raw_events)
+        for cycle, address, flag in zip(cycles, addresses, flags):
+            serial._on_activation(cycle, address, flag)
+        start = 0
+        for size in _partition(data, len(cycles)):
+            batched.observe_batch(
+                cycles[start : start + size],
+                addresses[start : start + size],
+                flags[start : start + size],
+            )
+            start += size
+
+        assert batched.snapshot() == serial.snapshot()
+        assert batched.violation_count == serial.violation_count
+        assert batched.max_disturbance == serial.max_disturbance
+        assert batched.first_violation_cycle == serial.first_violation_cycle
+        assert batched.violations == serial.violations
+
+    def test_streaming_fastpath_wires_batches(self):
+        """On a fast-path DRAM system, streaming audits register the batch
+        observer (the drain-point protocol), recording audits stay serial."""
+        from repro import fastpath
+
+        with fastpath.forced(True):
+            dram = DRAMSystem(_tiny_config())
+            streaming = SecurityVerifier(dram, nrh=VERIFIER_NRH, record_violations=False)
+            recording = SecurityVerifier(dram, nrh=VERIFIER_NRH, record_violations=True)
+        assert streaming._batched
+        assert not recording._batched

@@ -1,0 +1,182 @@
+"""Backend equivalence for the vectorized sketch kernels.
+
+The sketches (:mod:`repro.sketch`) latch one of two backends at
+construction: a contiguous numpy array (numpy importable *and*
+:mod:`repro.fastpath` on) or the original pure-Python containers.  The
+whole point of the latch is that it is *unobservable* — same counts, same
+estimates, same snapshots, bit for bit — so golden results cannot depend
+on whether numpy happens to be installed.  These tests pin that:
+
+* :meth:`~repro.sketch.hashes.HashFamily.hash_matrix` equals the scalar
+  :meth:`~repro.sketch.hashes.HashFamily.hash` for every family, including
+  the out-of-u64-range fallback;
+* any operation sequence applied to a numpy-backed and a pure-Python
+  sketch leaves them with identical observable state;
+* snapshots are backend-portable: captured under one backend, restored
+  under the other, identical behavior afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import fastpath
+from repro._np import np
+from repro.sketch.count_min import (
+    ConservativeCountMinSketch,
+    CountMinSketch,
+    SketchConfig,
+)
+from repro.sketch.counting_bloom import CountingBloomFilter
+from repro.sketch.hashes import make_hash_family
+
+FAMILY_KINDS = ["shift_mask", "multiply_shift", "tabulation"]
+
+needs_numpy = pytest.mark.skipif(np is None, reason="numpy unavailable")
+
+_keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=(1 << 64) - 1), min_size=1, max_size=40
+)
+
+
+# --------------------------------------------------------------------------- #
+# hash_matrix == hash
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind", FAMILY_KINDS)
+class TestHashMatrixEqualsScalar:
+    @settings(max_examples=40, deadline=None)
+    @given(keys=_keys_strategy, seed=st.integers(min_value=0, max_value=5))
+    def test_matrix_matches_scalar(self, kind, keys, seed):
+        family = make_hash_family(kind, num_hashes=4, num_buckets=128, seed=seed)
+        expected = [[family.hash(i, key) for key in keys] for i in range(4)]
+        matrix = family.hash_matrix(keys)
+        rows = matrix.tolist() if np is not None else matrix
+        assert rows == expected
+
+    def test_out_of_range_keys_fall_back(self, kind):
+        """Keys beyond u64 can't ride the numpy path; values must not change."""
+        family = make_hash_family(kind, num_hashes=3, num_buckets=64, seed=1)
+        keys = [1 << 70, (1 << 64) + 5, 3]
+        matrix = family.hash_matrix(keys)
+        rows = matrix if isinstance(matrix, list) else matrix.tolist()
+        assert rows == [[family.hash(i, key) for key in keys] for i in range(3)]
+
+
+# --------------------------------------------------------------------------- #
+# Sketch backend parity
+# --------------------------------------------------------------------------- #
+# Operation alphabet: updates, batches, group writes and resets, with keys
+# from a small pool so counters actually collide and saturate.
+_small_key = st.integers(min_value=0, max_value=31)
+_ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("update"), _small_key, st.integers(1, 5)),
+        st.tuples(
+            st.just("batch"),
+            st.lists(_small_key, min_size=1, max_size=10),
+            st.integers(1, 3),
+        ),
+        st.tuples(st.just("set_group"), _small_key, st.integers(0, 20)),
+        st.tuples(st.just("reset"), st.just(0), st.just(0)),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _build_pair(factory):
+    """The same sketch, once numpy-backed, once pure-Python."""
+    with fastpath.forced(True):
+        vec = factory()
+    with fastpath.forced(False):
+        pure = factory()
+    return vec, pure
+
+
+def _apply(sketch, op):
+    name, a, b = op
+    if name == "update":
+        return sketch.update(a, b)
+    if name == "batch":
+        return sketch.update_batch(a, b)
+    if name == "set_group":
+        if hasattr(sketch, "set_group"):
+            return sketch.set_group(a, b)
+        return None
+    return sketch.reset()
+
+
+def _cms_factory(conservative):
+    config = SketchConfig(num_hashes=4, counters_per_hash=32, counter_width_bits=6)
+    cls = ConservativeCountMinSketch if conservative else CountMinSketch
+    return lambda: cls(config)
+
+
+@needs_numpy
+class TestCountMinBackendParity:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_ops_strategy, conservative=st.booleans())
+    def test_same_observable_state(self, ops, conservative):
+        vec, pure = _build_pair(_cms_factory(conservative))
+        assert vec._vec and not pure._vec
+        for op in ops:
+            assert _apply(vec, op) == _apply(pure, op)
+        assert vec.counters_snapshot() == pure.counters_snapshot()
+        assert vec.snapshot() == pure.snapshot()
+        assert vec.max_counter() == pure.max_counter()
+        assert vec.num_saturated_counters() == pure.num_saturated_counters()
+        probes = list(range(32))
+        assert vec.estimate_many(probes) == pure.estimate_many(probes)
+        assert [vec.is_saturated(k) for k in probes] == [
+            pure.is_saturated(k) for k in probes
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=_ops_strategy)
+    def test_snapshot_is_backend_portable(self, ops):
+        vec, pure = _build_pair(_cms_factory(False))
+        for op in ops:
+            _apply(vec, op)
+        pure.restore(vec.snapshot())
+        vec.update(3, 2)
+        pure.update(3, 2)
+        assert vec.counters_snapshot() == pure.counters_snapshot()
+        assert vec.estimate(3) == pure.estimate(3)
+
+
+@needs_numpy
+class TestCountingBloomBackendParity:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_ops_strategy)
+    def test_same_observable_state(self, ops):
+        vec, pure = _build_pair(
+            lambda: CountingBloomFilter(
+                num_counters=64, num_hashes=3, counter_width_bits=5, seed=2
+            )
+        )
+        assert vec._vec and not pure._vec
+        for op in ops:
+            assert _apply(vec, op) == _apply(pure, op)
+        assert vec.counters_snapshot() == pure.counters_snapshot()
+        assert vec.snapshot() == pure.snapshot()
+        probes = list(range(32))
+        assert [vec.estimate(k) for k in probes] == [pure.estimate(k) for k in probes]
+        assert [vec.contains(k, 2) for k in probes] == [
+            pure.contains(k, 2) for k in probes
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=_ops_strategy)
+    def test_snapshot_is_backend_portable(self, ops):
+        vec, pure = _build_pair(
+            lambda: CountingBloomFilter(
+                num_counters=64, num_hashes=3, counter_width_bits=5, seed=2
+            )
+        )
+        for op in ops:
+            _apply(pure, op)
+        vec.restore(pure.snapshot())
+        vec.update(7)
+        pure.update(7)
+        assert vec.counters_snapshot() == pure.counters_snapshot()

@@ -291,3 +291,91 @@ class TestRFMPolicyPauseResume:
         expected.pop("steps")
         actual.pop("steps")
         assert actual == expected
+
+
+# --------------------------------------------------------------------- #
+# Sketch checkpoints across backends
+# --------------------------------------------------------------------- #
+class TestSketchCheckpointPortability:
+    """Numpy-backed sketch checkpoints are plain data and backend-portable.
+
+    The vectorized sketches (:mod:`repro.sketch`) keep their counters in
+    numpy arrays; their snapshots must still be the *same plain-Python
+    data* the list-backed fallback produces — picklable, JSON-clean (no
+    ``np.int64`` leaking through) and restorable into a twin running the
+    other backend with identical subsequent behavior.  Backend equivalence
+    itself is pinned op-for-op in ``tests/test_sketch_vectorized.py``;
+    this class pins the on-disk checkpoint form the sampled-fidelity
+    executor writes.
+    """
+
+    _sketch_keys = st.lists(st.integers(0, 31), min_size=1, max_size=60)
+
+    @staticmethod
+    def _forced_build(factory, fast: bool):
+        from repro import fastpath
+
+        with fastpath.forced(fast):
+            return factory()
+
+    @staticmethod
+    def _factories():
+        from repro.sketch.count_min import CountMinSketch, SketchConfig
+        from repro.sketch.counting_bloom import CountingBloomFilter
+
+        config = SketchConfig(
+            num_hashes=4, counters_per_hash=32, counter_width_bits=6
+        )
+        return [
+            lambda: CountMinSketch(config),
+            lambda: CountingBloomFilter(
+                num_counters=64, num_hashes=3, counter_width_bits=5, seed=2
+            ),
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(prefix=_sketch_keys, suffix=_sketch_keys, fast_source=st.booleans())
+    def test_pickled_checkpoint_crosses_backends(
+        self, prefix, suffix, fast_source
+    ):
+        import json
+
+        for factory in self._factories():
+            source = self._forced_build(factory, fast=fast_source)
+            for key in prefix:
+                source.update(key)
+            checkpoint = pickle.loads(pickle.dumps(source.snapshot()))
+            # JSON round-trip proves every leaf is plain Python data.
+            assert json.loads(json.dumps(checkpoint)) == checkpoint
+
+            twin = self._forced_build(factory, fast=not fast_source)
+            twin.restore(checkpoint)
+            for key in suffix:
+                assert twin.update(key) == source.update(key)
+            assert twin.snapshot() == source.snapshot()
+            assert [twin.estimate(k) for k in range(32)] == [
+                source.estimate(k) for k in range(32)
+            ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(prefix=_events, suffix=_events)
+    def test_comet_checkpoint_crosses_backends(self, prefix, suffix):
+        """The whole chain: CoMeT's counter tables (CMS-backed) checkpointed
+        under one backend, restored under the other, same decisions after."""
+        from repro import fastpath
+
+        with fastpath.forced(True):
+            original = _attached("comet")
+        _apply(original, prefix, base_cycle=0)
+        checkpoint = pickle.loads(pickle.dumps(original.snapshot()))
+
+        with fastpath.forced(False):
+            twin = _attached("comet")
+        twin.restore(checkpoint)
+        assert twin.snapshot() == original.snapshot()
+
+        seen = len(original.controller.outputs)
+        _apply(original, suffix, base_cycle=len(prefix))
+        _apply(twin, suffix, base_cycle=len(prefix))
+        assert twin.controller.outputs == original.controller.outputs[seen:]
+        assert twin.snapshot() == original.snapshot()
